@@ -1,0 +1,68 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every benchmark prints its report table and also writes it to
+``benchmarks/results/<name>.txt`` so ``EXPERIMENTS.md`` can reference
+stable artifacts.  Dataset generation and brute-force ground truths are
+cached per (scale, seed) because several figures share them.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.baselines.bruteforce import BruteForceResult, exact_local_sensitivity
+from repro.workloads import Workload, all_workloads
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: default evaluation scale (lineitem rows / ML points) for accuracy figs.
+ACCURACY_SCALE = 60_000
+#: default scale for the performance figures.
+PERF_SCALE = 40_000
+#: the paper's evaluation epsilon.
+EPSILON = 0.1
+#: the paper's default sample size n.
+SAMPLE_SIZE = 1000
+
+_TABLE_CACHE: Dict[Tuple[str, int, int], dict] = {}
+_GT_CACHE: Dict[Tuple[str, int, int], BruteForceResult] = {}
+
+
+def cached_tables(workload: Workload, scale: int, seed: int) -> dict:
+    # The seven TPC-H workloads share one dataset factory, so key the
+    # cache by the factory rather than the workload name.
+    factory = getattr(workload.make_tables, "__name__", workload.name)
+    key = (factory, scale, seed)
+    if key not in _TABLE_CACHE:
+        _TABLE_CACHE[key] = workload.make_tables(scale, seed)
+    return _TABLE_CACHE[key]
+
+
+def cached_ground_truth(
+    workload: Workload, scale: int, seed: int, addition_samples: int = 1000
+) -> BruteForceResult:
+    key = (workload.name, scale, seed)
+    if key not in _GT_CACHE:
+        tables = cached_tables(workload, scale, seed)
+        _GT_CACHE[key] = exact_local_sensitivity(
+            workload.query, tables, addition_samples=addition_samples, seed=1
+        )
+    return _GT_CACHE[key]
+
+
+def emit_report(name: str, text: str) -> None:
+    """Print a benchmark report and persist it under results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    print(f"\n=== {name} ===\n{text}\n(saved to {path})")
+
+
+@pytest.fixture(scope="session")
+def workloads():
+    return all_workloads()

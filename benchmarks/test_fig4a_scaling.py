@@ -1,0 +1,58 @@
+"""Figure 4(a): UPA's performance overhead versus dataset size.
+
+The paper's point: the extra work UPA does (sensitivity inference over
+n = 1000 sampled neighbours, RANGE ENFORCER bookkeeping) is *constant*
+in the dataset size, so the overhead normalized to vanilla execution
+shrinks as data grows.  The harness measures the UPA/vanilla wall-time
+ratio at three scales and asserts the decreasing trend per query.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import SAMPLE_SIZE, cached_tables, emit_report
+from repro.analysis import format_table
+from repro.core import UPAConfig, UPASession
+
+SCALES = (10_000, 40_000, 160_000)
+
+
+def _measure(workloads):
+    rows = []
+    trend = {}
+    for workload in workloads:
+        ratios = []
+        for scale in SCALES:
+            tables = cached_tables(workload, scale, seed=3)
+            session = UPASession(UPAConfig(sample_size=SAMPLE_SIZE, seed=23))
+            _out, vanilla_time = session.run_vanilla(workload.query, tables)
+            result = session.run(workload.query, tables, epsilon=0.1)
+            ratios.append(result.elapsed_seconds / max(vanilla_time, 1e-9))
+        trend[workload.name] = ratios
+        rows.append([workload.name] + [
+            (r - 1.0) * 100.0 for r in ratios
+        ])
+    return rows, trend
+
+
+def test_fig4a_overhead_shrinks_with_scale(benchmark, workloads):
+    rows, trend = benchmark.pedantic(
+        _measure, args=(workloads,), rounds=1, iterations=1
+    )
+    report = format_table(
+        ["query"] + [f"overhead % @ {s} rows" for s in SCALES], rows
+    )
+    report += (
+        "\n\npaper shape (Fig. 4a): overhead decreases as datasets grow, "
+        "because sensitivity inference costs O(n) regardless of |x|."
+    )
+    emit_report("fig4a_scaling", report)
+
+    declining = 0
+    for name, ratios in trend.items():
+        if ratios[-1] < ratios[0]:
+            declining += 1
+    # the decreasing trend must hold for the large majority of queries
+    assert declining >= 7, trend

@@ -1,0 +1,73 @@
+"""The paper's threat model, acted out: RANGE ENFORCER defeats a
+repeated-query attack.
+
+Run with:  python examples/attack_defense.py
+
+The adversary (a data analyst) knows a victim's record is either in the
+dataset or not.  They submit the same counting query twice — once
+against the dataset and once against the dataset minus the victim — and
+try to infer membership from the two answers.  Without enforcement the
+difference in *raw* outputs leaks membership exactly; UPA detects the
+neighbouring resubmission via per-partition output comparison
+(Algorithm 2), removes two records to break adjacency, and clamps +
+noises the output, so the released answers no longer pinpoint the
+victim.
+"""
+
+import numpy as np
+
+from repro.core import UPAConfig, UPASession
+from repro.tpch import TPCHConfig, TPCHGenerator, query_by_name
+
+
+def main() -> None:
+    tables = TPCHGenerator(TPCHConfig(scale_rows=20_000, seed=5)).generate()
+    query = query_by_name("tpch1")
+    victim = tables["lineitem"][-1]
+    without_victim = dict(tables)
+    without_victim["lineitem"] = tables["lineitem"][:-1]
+
+    print("adversary: submit the same COUNT(*) twice, with and without "
+          "the victim's record\n")
+
+    # -- what the raw (non-private) pipeline would leak -----------------------
+    raw_with = query.output(tables)[0]
+    raw_without = query.output(without_victim)[0]
+    print(f"raw outputs            : {raw_with:.0f} vs {raw_without:.0f} "
+          f"-> difference {raw_with - raw_without:.0f} reveals membership")
+
+    # -- the same attack against UPA ---------------------------------------------
+    session = UPASession(UPAConfig(sample_size=1000, seed=1))
+    first = session.run(query, tables, epsilon=0.5)
+    second = session.run(query, without_victim, epsilon=0.5)
+
+    print(f"\nUPA first submission   : released {first.noisy_scalar():.2f} "
+          f"(fresh query, no prior match)")
+    print(f"UPA second submission  : released {second.noisy_scalar():.2f}")
+    print(f"  detected as attack   : {second.enforcement.matched_prior}")
+    print(f"  records removed      : {second.enforcement.records_removed} "
+          "(forces the inputs >= 2 records apart)")
+    print(f"  noise scale          : "
+          f"{second.local_sensitivity / second.epsilon:.2f} "
+          "(sensitivity / epsilon)")
+
+    released_gap = abs(first.noisy_scalar() - second.noisy_scalar())
+    print(f"\nreleased gap           : {released_gap:.2f} — the victim's "
+          "±1 contribution is buried in enforcement + noise")
+
+    # -- the iDP guarantee, empirically ----------------------------------------------
+    print("\nempirical check: distribution of released answers overlaps "
+          "between the two worlds")
+    gaps = []
+    for seed in range(10):
+        sess = UPASession(UPAConfig(sample_size=500, seed=seed))
+        a = sess.run(query, tables, epsilon=0.5).noisy_scalar()
+        b = sess.run(query, without_victim, epsilon=0.5).noisy_scalar()
+        gaps.append(a - b)
+    print(f"released (with - without) over 10 trials: "
+          f"mean {np.mean(gaps):+.2f}, std {np.std(gaps):.2f} "
+          "(an exact +1 would be needed to identify the victim)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Differentially private machine learning with UPA.
+
+Run with:  python examples/private_ml.py
+
+Trains Linear Regression privately: every gradient step is a UPA query
+(one Mapper+Reducer round, the paper's LR decomposition), so each step
+pays epsilon from the accountant and receives noise calibrated to the
+step's *inferred* sensitivity — no manual clipping bound needed.
+KMeans gets one private Lloyd update the same way.
+"""
+
+import numpy as np
+
+from repro.core import UPAConfig, UPASession
+from repro.dp import PrivacyAccountant
+from repro.mining import (
+    KMeansQuery,
+    LifeScienceConfig,
+    LinearRegressionQuery,
+    make_life_science_tables,
+)
+
+
+def private_linear_regression(tables, steps: int, epsilon_per_step: float):
+    """Gradient descent where each step is privatized by UPA."""
+    accountant = PrivacyAccountant(total_epsilon=steps * epsilon_per_step)
+    dim = len(tables["points"][0]["features"])
+    weights = np.zeros(dim + 1)
+    history = []
+    for step in range(steps):
+        query = LinearRegressionQuery(
+            dim=dim, learning_rate=0.005, initial_weights=weights
+        )
+        session = UPASession(
+            UPAConfig(sample_size=500, seed=step), accountant=accountant
+        )
+        result = session.run(query, tables, epsilon=epsilon_per_step)
+        weights = result.noisy_output
+        mse = LinearRegressionQuery.mean_squared_error(tables, weights)
+        history.append((step, result.local_sensitivity, mse))
+    return weights, history
+
+
+def main() -> None:
+    config = LifeScienceConfig(
+        num_records=20_000, dim=4, num_clusters=3, seed=11
+    )
+    tables = make_life_science_tables(config)
+    print(f"life-science dataset: {config.num_records} records, "
+          f"dim={config.dim}")
+
+    # -- private linear regression -------------------------------------------
+    weights, history = private_linear_regression(
+        tables, steps=8, epsilon_per_step=0.5
+    )
+    print("\nprivate SGD (each step is one UPA query):")
+    print(f"{'step':>4} {'step sensitivity':>18} {'MSE after step':>15}")
+    for step, sensitivity, mse in history:
+        print(f"{step:>4} {sensitivity:>18.5f} {mse:>15.2f}")
+
+    baseline = LinearRegressionQuery(dim=4, learning_rate=0.005)
+    nonprivate = baseline.train(tables, steps=8)
+    print(f"\nfinal MSE private   : "
+          f"{LinearRegressionQuery.mean_squared_error(tables, weights):.2f}")
+    print(f"final MSE nonprivate: "
+          f"{LinearRegressionQuery.mean_squared_error(tables, nonprivate):.2f}")
+
+    # -- one private KMeans update ----------------------------------------------
+    kmeans = KMeansQuery(num_clusters=3, dim=4, dataset_config=config)
+    session = UPASession(UPAConfig(sample_size=500, seed=99))
+    result = session.run(kmeans, tables, epsilon=1.0)
+    centers = result.noisy_output.reshape(3, 4)
+    true_centers = kmeans.output(tables).reshape(3, 4)
+    drift = np.linalg.norm(centers - true_centers, axis=1)
+    print("\nprivate KMeans update: per-center L2 noise displacement "
+          f"{np.round(drift, 3).tolist()}")
+    print(f"(sensitivity inferred for the update: "
+          f"{result.local_sensitivity:.5f})")
+
+
+if __name__ == "__main__":
+    main()

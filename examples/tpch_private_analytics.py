@@ -1,0 +1,88 @@
+"""Private analytics over TPC-H: all nine workloads under one budget.
+
+Run with:  python examples/tpch_private_analytics.py
+
+A data analyst submits the paper's nine queries (seven TPC-H + two ML)
+through one UPA session guarded by a privacy accountant.  The script
+prints, per query: the true answer, the released noisy answer, the
+inferred sensitivity, and what FLEX would have said (including the
+queries it cannot handle at all).
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.baselines import flex_local_sensitivity
+from repro.common.errors import FlexUnsupportedError, PrivacyBudgetExceeded
+from repro.core import UPAConfig, UPASession
+from repro.dp import PrivacyAccountant
+from repro.sql import SQLSession
+from repro.tpch.datagen import register_tables
+from repro.workloads import all_workloads
+
+
+def main() -> None:
+    epsilon_per_query = 0.1
+    accountant = PrivacyAccountant(total_epsilon=1.0)
+    session = UPASession(
+        UPAConfig(sample_size=1000, seed=7), accountant=accountant
+    )
+
+    rows = []
+    for workload in all_workloads():
+        tables = workload.make_tables(20_000, seed=3)
+        truth = workload.query.output(tables)
+        try:
+            result = session.run(
+                workload.query, tables, epsilon=epsilon_per_query
+            )
+        except PrivacyBudgetExceeded as exc:
+            print(f"budget exhausted before {workload.name}: {exc}")
+            break
+
+        flex_text = "unsupported"
+        if hasattr(workload.query, "dataframe"):
+            sql = SQLSession()
+            register_tables(sql, tables)
+            try:
+                flex = flex_local_sensitivity(
+                    workload.query.dataframe(sql).plan, tables
+                )
+                flex_text = f"{flex.sensitivity:.3g}"
+            except FlexUnsupportedError:
+                pass
+
+        truth_text = (
+            f"{truth[0]:.2f}" if truth.shape[0] == 1
+            else f"vector[{truth.shape[0]}]"
+        )
+        noisy_text = (
+            f"{result.noisy_scalar():.2f}" if truth.shape[0] == 1
+            else f"vector[{result.noisy_output.shape[0]}]"
+        )
+        rows.append(
+            [
+                workload.name,
+                truth_text,
+                noisy_text,
+                result.estimated_local_sensitivity,
+                flex_text,
+            ]
+        )
+
+    print(
+        format_table(
+            ["query", "true answer", "released (eps=0.1)",
+             "UPA sensitivity", "FLEX sensitivity"],
+            rows,
+        )
+    )
+    spent_eps, _ = accountant.spent()
+    print(f"\nprivacy budget spent: {spent_eps:.2f} of "
+          f"{accountant.total_epsilon:.2f}")
+    print("note: FLEX supports 5/9 queries and wildly overestimates the "
+          "join-heavy ones; UPA answers all nine.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Evaluation utilities: error metrics, neighbourhood studies, reports."""
+
+from repro.analysis.distribution import NeighbourhoodStudy, study_neighbourhood
+from repro.analysis.reporting import format_table, format_value
+from repro.analysis.rmse import relative_rmse_percent, rmse
+
+__all__ = [
+    "NeighbourhoodStudy",
+    "format_table",
+    "format_value",
+    "relative_rmse_percent",
+    "rmse",
+    "study_neighbourhood",
+]

@@ -1,0 +1,97 @@
+"""Text renderings of the paper's figures (terminal-friendly).
+
+No plotting stack is available offline, so the Fig. 3 scatter is
+rendered as an ASCII distribution strip: a histogram of the neighbour
+outputs with the ground-truth envelope (``|``) and UPA's inferred range
+(``[``/``]``) marked — enough to eyeball the coverage story the paper's
+scatter plots tell.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.analysis.distribution import NeighbourhoodStudy
+
+_BLOCKS = " .:-=+*#%@"
+
+
+def ascii_histogram(
+    values: np.ndarray,
+    lower: Optional[float] = None,
+    upper: Optional[float] = None,
+    width: int = 72,
+) -> str:
+    """One-line density strip of ``values`` with optional range markers.
+
+    Each column's character encodes the bin's relative density; ``[``
+    and ``]`` overwrite the columns containing ``lower`` / ``upper``.
+    """
+    values = np.asarray(values, dtype=float).reshape(-1)
+    if values.size == 0:
+        raise ValueError("cannot render an empty histogram")
+    vmin = float(values.min())
+    vmax = float(values.max())
+    if lower is not None:
+        vmin = min(vmin, lower)
+    if upper is not None:
+        vmax = max(vmax, upper)
+    if vmax == vmin:
+        vmax = vmin + 1.0
+    span = vmax - vmin
+
+    counts = np.zeros(width)
+    for value in values:
+        column = min(width - 1, int((value - vmin) / span * width))
+        counts[column] += 1
+    peak = counts.max() or 1.0
+    strip: List[str] = [
+        _BLOCKS[min(len(_BLOCKS) - 1, int(c / peak * (len(_BLOCKS) - 1)))]
+        for c in counts
+    ]
+
+    def mark(position: Optional[float], char: str) -> None:
+        if position is None:
+            return
+        column = min(width - 1, max(0, int((position - vmin) / span * width)))
+        strip[column] = char
+
+    mark(lower, "[")
+    mark(upper, "]")
+    return "".join(strip)
+
+
+def render_fig3_panel(study: NeighbourhoodStudy, width: int = 72) -> str:
+    """Render one query's Fig. 3 panel as text.
+
+    Shows the true neighbour-output distribution with the ground-truth
+    envelope, then one line per sample size with UPA's inferred range
+    markers and its coverage.
+    """
+    truth = study.truth
+    outputs = truth.neighbour_outputs[:, 0]
+    lines = [
+        f"{study.query_name}: {outputs.shape[0]} neighbour outputs, "
+        f"true envelope [{truth.range_lower[0]:.4g}, "
+        f"{truth.range_upper[0]:.4g}]",
+        "  truth    |"
+        + ascii_histogram(
+            outputs, float(truth.range_lower[0]), float(truth.range_upper[0]),
+            width,
+        )
+        + "|",
+    ]
+    for entry in study.ranges:
+        strip = ascii_histogram(
+            outputs,
+            float(entry.inferred.lower[0]),
+            float(entry.inferred.upper[0]),
+            width,
+        )
+        lines.append(
+            f"  n={entry.sample_size:<6} |{strip}| "
+            f"coverage {entry.coverage * 100:.1f}%"
+        )
+    return "\n".join(lines)

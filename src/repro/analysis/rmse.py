@@ -1,0 +1,37 @@
+"""Error metrics used by the Fig. 2(a) accuracy comparison."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def rmse(estimates: Sequence[float], truths: Sequence[float]) -> float:
+    """Root mean square error between paired estimates and truths."""
+    estimates = np.asarray(estimates, dtype=float)
+    truths = np.asarray(truths, dtype=float)
+    if estimates.shape != truths.shape:
+        raise ValueError(
+            f"shape mismatch: {estimates.shape} vs {truths.shape}"
+        )
+    if estimates.size == 0:
+        raise ValueError("rmse of empty sequences")
+    return float(np.sqrt(np.mean((estimates - truths) ** 2)))
+
+
+def relative_rmse_percent(
+    estimates: Sequence[float], truths: Sequence[float]
+) -> float:
+    """RMSE normalized by the mean ground truth, in percent.
+
+    The paper reports "3.81 % RMSE" — error relative to the true
+    sensitivity scale; this is that normalization.  A zero mean truth
+    (degenerate) falls back to absolute RMSE.
+    """
+    truths_arr = np.asarray(truths, dtype=float)
+    error = rmse(estimates, truths)
+    scale = float(np.mean(np.abs(truths_arr)))
+    if scale == 0.0:
+        return error * 100.0
+    return error / scale * 100.0

@@ -1,0 +1,20 @@
+"""Comparison systems: brute-force ground truth and FLEX.
+
+* :mod:`repro.baselines.bruteforce` — exact local sensitivity by
+  evaluating the query on every neighbouring dataset (Definition II.1);
+  the ground truth for Fig. 2(a)/Fig. 3.
+* :mod:`repro.baselines.flex` — FLEX's static elastic-sensitivity
+  analysis over SQL logical plans, as the paper describes it
+  (section II-B): multiplies the max frequencies of join-key columns
+  and ignores filters; supports counting queries only.
+"""
+
+from repro.baselines.bruteforce import BruteForceResult, exact_local_sensitivity
+from repro.baselines.flex import FlexAnalysis, flex_local_sensitivity
+
+__all__ = [
+    "BruteForceResult",
+    "FlexAnalysis",
+    "exact_local_sensitivity",
+    "flex_local_sensitivity",
+]

@@ -1,0 +1,24 @@
+"""FLEX baseline (Johnson, Near, Song — "Towards Practical Differential
+Privacy for SQL Queries", VLDB 2018), as characterized by the UPA paper.
+
+FLEX statically analyzes a counting query's plan: the local sensitivity
+of a count over joins is bounded by multiplying the **maximum
+frequency** (most-frequent-value count) of each join-key column, taken
+from dataset metadata.  Filters and actual join-key overlap are ignored
+— the two inaccuracy sources the UPA paper dissects in section II-B.
+Only Select/Filter/Join/Count queries are supported; everything else
+raises :class:`repro.common.errors.FlexUnsupportedError`.
+"""
+
+from repro.baselines.flex.analysis import FlexAnalysis, flex_local_sensitivity
+from repro.baselines.flex.metadata import TableMetadata, max_frequency
+from repro.baselines.flex.smooth import elastic_stability, flex_smooth_sensitivity
+
+__all__ = [
+    "FlexAnalysis",
+    "TableMetadata",
+    "elastic_stability",
+    "flex_local_sensitivity",
+    "flex_smooth_sensitivity",
+    "max_frequency",
+]

@@ -1,0 +1,43 @@
+"""Dataset metadata FLEX consumes: per-column maximum frequencies.
+
+FLEX never looks at query results — only at precomputed metadata of the
+*base* tables (the paper: "an input dataset's metadata, e.g. number of
+data records in each input column").  This module computes and caches
+that metadata.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+Row = Dict[str, Any]
+
+
+def max_frequency(rows: List[Row], column: str) -> int:
+    """Count of the most frequent value in ``column`` (0 for no rows)."""
+    if not rows:
+        return 0
+    counts: Counter = Counter(row[column] for row in rows)
+    return max(counts.values())
+
+
+@dataclass
+class TableMetadata:
+    """Cached max-frequency metadata for one catalog of tables."""
+
+    tables: Dict[str, List[Row]]
+    _cache: Dict[tuple, int] = field(default_factory=dict)
+
+    def max_frequency(self, table: str, column: str) -> int:
+        key = (table, column)
+        if key not in self._cache:
+            try:
+                rows = self.tables[table]
+            except KeyError:
+                raise KeyError(
+                    f"no metadata for table {table!r}; have {sorted(self.tables)}"
+                ) from None
+            self._cache[key] = max_frequency(rows, column)
+        return self._cache[key]

@@ -1,0 +1,181 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — the nine evaluated workloads and their properties.
+* ``run`` — answer one workload under epsilon-iDP and print the result.
+* ``run-sql`` — answer an ad-hoc SQL counting/sum query over a
+  generated TPC-H dataset (compiled by the provenance bridge).
+* ``compare`` — UPA vs FLEX vs brute force sensitivities for one
+  workload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import format_table
+from repro.core import UPAConfig, UPASession
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="UPA (DSN 2020) reproduction: differentially private "
+        "big-data mining",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the nine evaluated workloads")
+
+    run = sub.add_parser("run", help="run one workload under epsilon-iDP")
+    run.add_argument("workload", help="workload name, e.g. tpch6")
+    run.add_argument("--scale", type=int, default=20_000)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--epsilon", type=float, default=0.1)
+    run.add_argument("--sample-size", type=int, default=1000)
+
+    sql = sub.add_parser(
+        "run-sql", help="run an ad-hoc SQL query over generated TPC-H data"
+    )
+    sql.add_argument("query", help="SQL text (single COUNT/SUM)")
+    sql.add_argument("--protect", required=True, help="protected table")
+    sql.add_argument("--scale", type=int, default=20_000)
+    sql.add_argument("--seed", type=int, default=0)
+    sql.add_argument("--epsilon", type=float, default=0.1)
+
+    cmp_parser = sub.add_parser(
+        "compare", help="UPA vs FLEX vs brute-force sensitivity"
+    )
+    cmp_parser.add_argument("workload")
+    cmp_parser.add_argument("--scale", type=int, default=20_000)
+    cmp_parser.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_list() -> int:
+    from repro.workloads import all_workloads
+
+    rows = [
+        [w.name, w.query_type, w.query.protected_table,
+         "yes" if w.flex_supported else "no"]
+        for w in all_workloads()
+    ]
+    print(format_table(
+        ["workload", "type", "protected table", "FLEX support"], rows
+    ))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.workloads import workload_by_name
+
+    workload = workload_by_name(args.workload)
+    tables = workload.make_tables(args.scale, args.seed)
+    session = UPASession(
+        UPAConfig(sample_size=args.sample_size, seed=args.seed)
+    )
+    result = session.run(workload.query, tables, epsilon=args.epsilon)
+    truth = workload.query.output(tables)
+    rows = [
+        ["true answer", truth[0] if truth.shape[0] == 1 else list(truth)],
+        ["released (noisy)", result.noisy_scalar()
+         if truth.shape[0] == 1 else list(result.noisy_output)],
+        ["inferred sensitivity", result.local_sensitivity],
+        ["epsilon", args.epsilon],
+        ["sample size n", result.sample_size],
+        ["elapsed seconds", result.elapsed_seconds],
+    ]
+    print(format_table(["field", "value"], rows))
+    return 0
+
+
+def _cmd_run_sql(args) -> int:
+    from repro.tpch import TPCHConfig, TPCHGenerator
+    from repro.tpch.queries import base as samplers
+
+    tables = TPCHGenerator(
+        TPCHConfig(scale_rows=args.scale, seed=args.seed)
+    ).generate()
+    domain_samplers = {
+        "lineitem": samplers.random_lineitem,
+        "orders": samplers.random_order,
+        "customer": samplers.random_customer,
+        "part": samplers.random_part,
+        "partsupp": samplers.random_partsupp,
+        "supplier": samplers.random_supplier,
+    }
+    sampler = domain_samplers.get(args.protect)
+    if sampler is None:
+        print(f"error: no domain sampler for table {args.protect!r}; "
+              f"choose one of {sorted(domain_samplers)}", file=sys.stderr)
+        return 2
+    session = UPASession(UPAConfig(sample_size=1000, seed=args.seed))
+    result = session.run_sql(
+        args.query, tables, protected_table=args.protect,
+        epsilon=args.epsilon, domain_sampler=sampler,
+    )
+    rows = [
+        ["query", args.query],
+        ["true answer", result.plain_output[0]],
+        ["released (noisy)", result.noisy_scalar()],
+        ["inferred sensitivity", result.local_sensitivity],
+    ]
+    print(format_table(["field", "value"], rows))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.baselines import exact_local_sensitivity, flex_local_sensitivity
+    from repro.common.errors import FlexUnsupportedError
+    from repro.sql import SQLSession
+    from repro.tpch.datagen import register_tables
+    from repro.workloads import workload_by_name
+
+    workload = workload_by_name(args.workload)
+    tables = workload.make_tables(args.scale, args.seed)
+    truth = exact_local_sensitivity(
+        workload.query, tables, addition_samples=500
+    )
+    session = UPASession(UPAConfig(sample_size=1000, seed=args.seed))
+    result = session.run(workload.query, tables, epsilon=0.1)
+
+    flex_text = "unsupported"
+    if hasattr(workload.query, "dataframe"):
+        sql = SQLSession()
+        register_tables(sql, tables)
+        try:
+            flex_text = flex_local_sensitivity(
+                workload.query.dataframe(sql).plan, tables
+            ).sensitivity
+        except FlexUnsupportedError:
+            pass
+    rows = [
+        ["brute force (ground truth)", truth.local_sensitivity],
+        ["UPA (inferred)", result.estimated_local_sensitivity],
+        ["FLEX (static)", flex_text],
+    ]
+    print(format_table(["system", "local sensitivity"], rows))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "run-sql":
+            return _cmd_run_sql(args)
+        if args.command == "compare":
+            return _cmd_compare(args)
+    except BrokenPipeError:  # e.g. `repro list | head`
+        return 0
+    return 1  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

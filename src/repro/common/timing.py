@@ -1,0 +1,29 @@
+"""Tiny timing helper used by benchmarks and the engine's metrics."""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class Timer:
+    """Context manager measuring wall-clock time in seconds.
+
+    Example:
+        >>> with Timer() as t:
+        ...     _ = sum(range(1000))
+        >>> t.elapsed >= 0.0
+        True
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._start is not None:
+            self.elapsed = time.perf_counter() - self._start

@@ -1,0 +1,225 @@
+"""Phase 4 of UPA: local-sensitivity inference (Algorithm 1, l.17-21).
+
+Given the outputs of the query on the sampled neighbouring datasets
+({o_i} for removals, {o-bar_i} for additions), UPA fits a normal
+distribution per output coordinate by MLE and takes low/high percentiles
+as the inferred output range; the local sensitivity is the (L1) width
+of that range.
+
+Two refinements over the paper's bare description, both selectable:
+
+* **population extrapolation** (default on): the paper's fixed 1st/99th
+  percentiles estimate where ~98 % of *sampled* neighbours fall, but the
+  ground-truth local sensitivity (Definition II.1) is a max over *all*
+  |x| neighbours.  With ``extrapolate=True`` the percentile level is
+  set to the expected extreme of ``population`` draws from the fitted
+  normal (level 1/(2(N+1))), which is what makes UPA's estimate land
+  within a few percent of the brute-force value, as Figure 2(a) reports.
+* **discrete fallback** (default on): when a coordinate's sampled
+  outputs take only a few distinct values (counting queries: TPCH1's
+  neighbours are exactly {C-1, C+1}), a normal fit is meaningless and
+  grossly over-covers; the empirical min/max is exact there.  This is
+  why the paper's TPCH1 error is ~1e-9 rather than ~2x.
+
+Both off reproduces Algorithm 1 verbatim (the Fig. 3 bench compares the
+estimators).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+from scipy import stats
+
+from repro.common.errors import DPError
+
+
+@dataclass(frozen=True)
+class InferenceConfig:
+    """Knobs for the sensitivity inference step.
+
+    Attributes:
+        percentile_low/high: percentile pair from the paper (1, 99),
+            used when ``extrapolate`` is off.
+        extrapolate: extend percentiles to the population size (see
+            module docstring).
+        discrete_fallback: use empirical min/max for near-discrete
+            coordinates.
+        discrete_distinct_threshold: max distinct values for a
+            coordinate to count as discrete.
+        envelope: widen the range to cover every *sampled* neighbour
+            output.  The sampled outputs are genuine neighbour outputs,
+            so a range excluding them would make RANGE ENFORCER clamp
+            legitimate answers; the envelope also rescues heavy-tailed
+            coordinates the normal fit under-covers.
+    """
+
+    percentile_low: float = 1.0
+    percentile_high: float = 99.0
+    extrapolate: bool = True
+    discrete_fallback: bool = True
+    discrete_distinct_threshold: int = 10
+    envelope: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.percentile_low < self.percentile_high < 100.0:
+            raise DPError(
+                f"invalid percentile pair "
+                f"({self.percentile_low}, {self.percentile_high})"
+            )
+
+
+@dataclass(frozen=True)
+class InferredRange:
+    """The inferred output range and local sensitivity.
+
+    Attributes:
+        lower/upper: per-coordinate range bounds (RANGE ENFORCER clamps
+            outputs into [lower, upper]).
+        local_sensitivity: L1 width sum(upper - lower); for scalar
+            outputs this is simply the range width.
+        mean/std: the MLE normal fit per coordinate.
+        used_fallback: mask of coordinates where the discrete fallback
+            applied.
+    """
+
+    lower: np.ndarray
+    upper: np.ndarray
+    mean: np.ndarray
+    std: np.ndarray
+    used_fallback: np.ndarray
+
+    @property
+    def local_sensitivity(self) -> float:
+        return float(np.sum(self.upper - self.lower))
+
+    def clamp(self, value: np.ndarray) -> np.ndarray:
+        """Clamp a value into the range (used for reporting; RANGE
+        ENFORCER replaces out-of-range outputs with a random in-range
+        value, see Algorithm 2 l.17-18)."""
+        return np.clip(np.asarray(value, dtype=float), self.lower, self.upper)
+
+    def contains(self, value: np.ndarray) -> bool:
+        value = np.asarray(value, dtype=float)
+        return bool(np.all(value >= self.lower) and np.all(value <= self.upper))
+
+    def coverage(self, outputs: np.ndarray) -> float:
+        """Fraction of output rows fully inside the range (Fig. 3 metric)."""
+        outputs = np.atleast_2d(np.asarray(outputs, dtype=float))
+        inside = np.all(
+            (outputs >= self.lower) & (outputs <= self.upper), axis=1
+        )
+        return float(np.mean(inside))
+
+    def max_deviation(self, center: np.ndarray) -> float:
+        """Largest L1 move from ``center`` to a range corner.
+
+        For ``center = f(x)`` this is the inferred bound on
+        ``max_y |f(x) - f(y)|`` — the quantity Definition II.1 defines
+        and the Fig. 2(a) comparison uses (the range *width* double
+        counts when the neighbour outputs straddle f(x) symmetrically).
+        """
+        center = np.asarray(center, dtype=float).reshape(-1)
+        per_coord = np.maximum(self.upper - center, center - self.lower)
+        return float(np.sum(np.maximum(per_coord, 0.0)))
+
+
+def infer_local_sensitivity(
+    neighbour_outputs: np.ndarray,
+    center: np.ndarray,
+    population: int,
+    config: Optional[InferenceConfig] = None,
+) -> float:
+    """Estimate Definition II.1's local sensitivity from sampled neighbours.
+
+    The paper treats local sensitivity "as a random variable that
+    follows a normal distribution" (section IV-A): here that variable is
+    the per-neighbour L1 deviation ``delta_i = |f(x) - f(y_i)|_1``.  A
+    normal is fitted to the sampled deltas by MLE and the estimate is
+    its extreme upper quantile (extrapolated to the population size,
+    like :func:`infer_output_range`), with the same discrete fallback
+    and never below the largest sampled delta.
+
+    This scalar estimate is what the Fig. 2(a) accuracy comparison uses;
+    the *mechanism* keeps using the (conservative) output-range width,
+    which RANGE ENFORCER makes a guaranteed upper bound.
+    """
+    config = config or InferenceConfig()
+    outputs = np.atleast_2d(np.asarray(neighbour_outputs, dtype=float))
+    if outputs.size == 0:
+        raise DPError("cannot infer sensitivity from zero neighbour outputs")
+    center = np.asarray(center, dtype=float).reshape(-1)
+    deltas = np.abs(outputs - center).sum(axis=1)
+
+    distinct = np.unique(deltas)
+    if (
+        config.discrete_fallback
+        and distinct.shape[0] <= config.discrete_distinct_threshold
+    ):
+        return float(deltas.max())
+
+    mean = float(deltas.mean())
+    std = float(deltas.std())
+    if config.extrapolate:
+        level = 1.0 / (2.0 * max(population, deltas.shape[0], 2))
+        level = min(level, config.percentile_low / 100.0)
+    else:
+        level = config.percentile_low / 100.0
+    z = float(stats.norm.ppf(1.0 - level))
+    estimate = mean + z * std
+    if config.envelope:
+        estimate = max(estimate, float(deltas.max()))
+    return float(estimate)
+
+
+def infer_output_range(
+    neighbour_outputs: np.ndarray,
+    population: int,
+    config: Optional[InferenceConfig] = None,
+) -> InferredRange:
+    """Fit per-coordinate normals and derive the output range.
+
+    Args:
+        neighbour_outputs: array of shape (m, d) — one row per sampled
+            neighbouring dataset's output.
+        population: number of neighbouring datasets in the full
+            population (|x| removals + additions), used when
+            extrapolating.
+    """
+    config = config or InferenceConfig()
+    outputs = np.atleast_2d(np.asarray(neighbour_outputs, dtype=float))
+    if outputs.size == 0:
+        raise DPError("cannot infer a range from zero neighbour outputs")
+    m, d = outputs.shape
+
+    mean = outputs.mean(axis=0)
+    std = outputs.std(axis=0)  # MLE (ddof=0)
+
+    if config.extrapolate:
+        level = 1.0 / (2.0 * max(population, m, 2))
+        level = min(level, config.percentile_low / 100.0)
+    else:
+        level = config.percentile_low / 100.0
+    z = float(stats.norm.ppf(1.0 - level))
+
+    lower = mean - z * std
+    upper = mean + z * std
+
+    used_fallback = np.zeros(d, dtype=bool)
+    if config.discrete_fallback:
+        for j in range(d):
+            distinct = np.unique(outputs[:, j])
+            if distinct.shape[0] <= config.discrete_distinct_threshold:
+                lower[j] = distinct.min()
+                upper[j] = distinct.max()
+                used_fallback[j] = True
+
+    if config.envelope:
+        lower = np.minimum(lower, outputs.min(axis=0))
+        upper = np.maximum(upper, outputs.max(axis=0))
+
+    return InferredRange(
+        lower=lower, upper=upper, mean=mean, std=std, used_fallback=used_fallback
+    )

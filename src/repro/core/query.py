@@ -1,0 +1,175 @@
+"""The query abstraction UPA operates on.
+
+The paper (section II-C) observes that MapReduce queries are built from
+*commutative and associative* operators: a Mapper applied per record and
+a Reducer that merges partial results in any grouping/order.  Formally
+the reducer is a commutative monoid; this module captures exactly that:
+
+    f(x) = finalize( fold(combine, zero, [map_record(r) for r in x]) )
+
+Every workload in the reproduction (seven TPC-H queries, KMeans,
+Linear Regression) implements :class:`MapReduceQuery`.  The decomposition
+is what lets UPA reuse ``R(M(S'))`` across all sampled neighbouring
+datasets — the core efficiency claim — and what lets the brute-force
+baseline compute exact local sensitivity in O(N) via prefix/suffix
+folds instead of O(N^2).
+
+A query names a **protected table**: the table whose records the
+adversary may add/remove (neighbouring datasets differ by one record of
+this table).  Auxiliary tables are fixed; ``build_aux`` precomputes
+whatever lookup structures the mapper needs from them.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.common.errors import QueryShapeError
+
+Row = Dict[str, Any]
+Tables = Dict[str, List[Row]]
+
+
+class QueryOutput:
+    """Normalizes query outputs to float vectors.
+
+    Scalar queries have ``dim == 1``; ML queries return model vectors.
+    """
+
+    @staticmethod
+    def as_vector(value: Any) -> np.ndarray:
+        if np.isscalar(value):
+            return np.asarray([float(value)], dtype=float)
+        return np.asarray(value, dtype=float).reshape(-1)
+
+    @staticmethod
+    def as_scalar(vector: np.ndarray) -> float:
+        vector = np.asarray(vector).reshape(-1)
+        if vector.shape[0] != 1:
+            raise QueryShapeError(
+                f"expected scalar output, got vector of dim {vector.shape[0]}"
+            )
+        return float(vector[0])
+
+
+class MapReduceQuery:
+    """A query decomposed into Mapper + commutative/associative Reducer.
+
+    Subclasses must set :attr:`name`, :attr:`protected_table` and
+    :attr:`output_dim`, and implement the monoid methods.  The monoid
+    element type is subclass-defined (numbers, tuples, numpy arrays...)
+    but must never be mutated in place by :meth:`combine` unless the
+    left argument is owned by the caller chain (UPA reuses elements).
+    """
+
+    #: human-readable query id, e.g. "tpch1".
+    name: str = ""
+    #: table whose records are protected (neighbours differ here).
+    protected_table: str = ""
+    #: dimension of the finalized output vector.
+    output_dim: int = 1
+
+    # ------------------------------------------------------------------
+    # Monoid interface
+    # ------------------------------------------------------------------
+
+    def build_aux(self, tables: Tables) -> Any:
+        """Precompute lookup structures from the non-protected tables.
+
+        Must not read the protected table unless the query's semantics
+        are still linear in it (document any such use).
+        """
+        return None
+
+    def map_record(self, record: Row, aux: Any) -> Any:
+        """Mapper: one protected record -> monoid element."""
+        raise NotImplementedError
+
+    def zero(self) -> Any:
+        """Monoid identity."""
+        raise NotImplementedError
+
+    def combine(self, a: Any, b: Any) -> Any:
+        """Monoid operation; must be commutative and associative."""
+        raise NotImplementedError
+
+    def finalize(self, agg: Any, aux: Any) -> np.ndarray:
+        """Turn the folded aggregate into the query's output vector."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Neighbour-record sampling ("records in D but not in x")
+    # ------------------------------------------------------------------
+
+    def sample_domain_record(self, rng: random.Random, tables: Tables) -> Row:
+        """A plausible new record of the protected table (for +1 neighbours)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Driver-side helpers (used by baselines and tests)
+    # ------------------------------------------------------------------
+
+    def fold(self, elements: Iterable[Any]) -> Any:
+        acc = self.zero()
+        for element in elements:
+            acc = self.combine(acc, element)
+        return acc
+
+    def output(self, tables: Tables) -> np.ndarray:
+        """Evaluate f(x) entirely on the driver (reference semantics)."""
+        aux = self.build_aux(tables)
+        agg = self.fold(
+            self.map_record(r, aux) for r in tables[self.protected_table]
+        )
+        return self.finalize(agg, aux)
+
+    def output_without(self, tables: Tables, index: int) -> np.ndarray:
+        """f(x - record_i): reference implementation for tests."""
+        aux = self.build_aux(tables)
+        records = tables[self.protected_table]
+        agg = self.fold(
+            self.map_record(r, aux)
+            for i, r in enumerate(records)
+            if i != index
+        )
+        return self.finalize(agg, aux)
+
+    def validate_monoid(self, tables: Tables, sample: int = 16,
+                        seed: int = 0) -> None:
+        """Assert commutativity/associativity on sampled elements.
+
+        Cheap sanity check used by tests and by UPASession in strict
+        mode: folds a sample of mapped records in shuffled orders and
+        groupings and compares results.
+        """
+        aux = self.build_aux(tables)
+        records = tables[self.protected_table]
+        rng = random.Random(seed)
+        chosen = records if len(records) <= sample else rng.sample(records, sample)
+        elements = [self.map_record(r, aux) for r in chosen]
+        baseline = self.finalize(self.fold(elements), aux)
+        shuffled = list(elements)
+        rng.shuffle(shuffled)
+        commuted = self.finalize(self.fold(shuffled), aux)
+        if not np.allclose(baseline, commuted):
+            raise QueryShapeError(
+                f"query {self.name!r}: reducer is not commutative"
+            )
+        if len(elements) >= 2:
+            split = rng.randrange(1, len(elements))
+            left = self.fold(elements[:split])
+            right = self.fold(elements[split:])
+            associated = self.finalize(self.combine(left, right), aux)
+            if not np.allclose(baseline, associated):
+                raise QueryShapeError(
+                    f"query {self.name!r}: reducer is not associative"
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} name={self.name!r} "
+            f"protected={self.protected_table!r} dim={self.output_dim}>"
+        )

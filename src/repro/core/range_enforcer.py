@@ -1,0 +1,150 @@
+"""RANGE ENFORCER (paper Algorithm 2).
+
+Detects repeated-query attacks and guarantees the inferred local
+sensitivity upper-bounds the true one:
+
+1. **Attack detection** — the output of the current query on each of
+   the dataset's two stable partitions is compared with every prior
+   submission's partition outputs.  If fewer than two partitions differ
+   from some prior submission, the current and prior inputs may be
+   neighbouring (differ by one record) and the queries may be the same
+   — exactly the attack in the threat model.  UPA then removes two of
+   the sampled records from the input and recomputes, forcing the
+   datasets at least two records apart.
+2. **Output-range constraint** — the final output is forced into the
+   inferred range [lower, upper]; an out-of-range output is replaced by
+   a uniform random value inside the range (Algorithm 2 l.17-18).
+   After clamping, *every* output of this query on x or a neighbour
+   lies in the range, so |f(x) - f(y)| <= width — the inequality the
+   iDP proof (section IV-C) needs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import DPError
+from repro.core.inference import InferredRange
+
+
+@dataclass
+class _RegisteredQuery:
+    """Partition outputs and range of a previously answered query."""
+
+    partition_outputs: Tuple[np.ndarray, np.ndarray]
+    range: InferredRange
+
+
+class EnforcerRuntime(Protocol):
+    """Callbacks the enforcer needs from the running UPA pipeline."""
+
+    def partition_outputs(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Current f(x1), f(x2)."""
+
+    def final_output(self) -> np.ndarray:
+        """Current f(x) (reduced over both partitions)."""
+
+    def remove_two_records(self) -> bool:
+        """Drop two sampled records from the input; False if exhausted."""
+
+
+@dataclass
+class EnforcementResult:
+    """What RANGE ENFORCER did to one submission.
+
+    Attributes:
+        output: the final (clamped, possibly after removals) raw output.
+        matched_prior: a prior submission looked neighbouring.
+        records_removed: how many records were removed to break the match.
+        clamped: the output fell outside the inferred range and was
+            replaced by an in-range random value.
+    """
+
+    output: np.ndarray
+    matched_prior: bool
+    records_removed: int
+    clamped: bool
+
+
+class RangeEnforcer:
+    """Cross-query registry implementing Algorithm 2.
+
+    One enforcer instance guards one dataset; UPA sessions share it
+    across submissions.
+    """
+
+    def __init__(self, rng: Optional[random.Random] = None,
+                 equality_rtol: float = 1e-9):
+        self._registry: List[_RegisteredQuery] = []
+        self._rng = rng or random.Random(0)
+        self._rtol = equality_rtol
+
+    def __len__(self) -> int:
+        return len(self._registry)
+
+    def _same(self, a: np.ndarray, b: np.ndarray) -> bool:
+        """Partition-output equality (floats: tolerance-based).
+
+        The paper compares outputs exactly; identical computations give
+        bitwise-identical floats, but we allow a tiny relative
+        tolerance so re-orderings inside the engine cannot mask a
+        genuine match.
+        """
+        if a.shape != b.shape:
+            return False
+        return bool(np.allclose(a, b, rtol=self._rtol, atol=0.0))
+
+    def enforce(self, runtime: EnforcerRuntime,
+                inferred: InferredRange) -> EnforcementResult:
+        """Run Algorithm 2 for one submission and register it."""
+        matched = False
+        removed = 0
+        current = runtime.partition_outputs()
+
+        for prior in self._registry:
+            diff_num = sum(
+                0 if self._same(prior.partition_outputs[j], current[j]) else 1
+                for j in range(2)
+            )
+            while diff_num < 2:
+                matched = True
+                if not runtime.remove_two_records():
+                    raise DPError(
+                        "RANGE ENFORCER exhausted sampled records while "
+                        "separating neighbouring submissions"
+                    )
+                removed += 2
+                current = runtime.partition_outputs()
+                diff_num = sum(
+                    0 if self._same(prior.partition_outputs[j], current[j]) else 1
+                    for j in range(2)
+                )
+
+        output = runtime.final_output()
+        clamped = not inferred.contains(output)
+        if clamped:
+            span = inferred.upper - inferred.lower
+            output = inferred.lower + np.array(
+                [self._rng.random() for _ in range(span.shape[0])]
+            ) * span
+
+        self._registry.append(
+            _RegisteredQuery(
+                partition_outputs=(current[0].copy(), current[1].copy()),
+                range=inferred,
+            )
+        )
+        return EnforcementResult(
+            output=output,
+            matched_prior=matched,
+            records_removed=removed,
+            clamped=clamped,
+        )
+
+    def reset(self) -> None:
+        """Forget all registered queries (new dataset / new epoch)."""
+        self._registry.clear()

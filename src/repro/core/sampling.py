@@ -1,0 +1,109 @@
+"""Phase 1 of UPA: Partition & Sample (paper section III, Algorithm 1 l.1-3).
+
+The input dataset is split into **two stable partitions** by a content
+hash, so a record lands in the same partition in every submission — the
+property RANGE ENFORCER's per-partition comparison relies on: two
+datasets that differ by one record produce identical output on the
+untouched partition.
+
+From the partitioned records UPA uniformly samples ``n`` *differing
+records* S (the records whose removal is simulated); the rest is S'.
+It also samples ``n`` records from the domain D that are *not* in x
+(via the query's ``sample_domain_record``) for the "+1 record"
+neighbours.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.common.errors import DPError
+from repro.core.query import MapReduceQuery, Row, Tables
+
+
+def record_fingerprint(record: Row) -> int:
+    """Stable content hash of a record (dict rows, order-insensitive).
+
+    Uses crc32 over a canonical repr: deterministic across processes
+    (unlike builtin ``hash``) and cheap enough to run once per record
+    per query — partitioning is on UPA's per-record hot path.
+    """
+    return zlib.crc32(repr(sorted(record.items())).encode("utf-8"))
+
+
+def partition_of(record: Row, num_partitions: int = 2) -> int:
+    """The stable partition a record belongs to."""
+    return record_fingerprint(record) % num_partitions
+
+
+@dataclass
+class PartitionedSample:
+    """Output of Partition & Sample.
+
+    Attributes:
+        partitions: records of x1 and x2, original order preserved.
+        sampled: the n differing records S (in sample order).
+        sampled_partitions: partition id of each sampled record.
+        remaining: S' = x \\ S, per partition, original order preserved.
+        domain_samples: n records from D but not in x.
+    """
+
+    partitions: Tuple[List[Row], List[Row]]
+    sampled: List[Row]
+    sampled_partitions: List[int]
+    remaining: Tuple[List[Row], List[Row]]
+    domain_samples: List[Row]
+
+    @property
+    def sample_size(self) -> int:
+        return len(self.sampled)
+
+
+def partition_and_sample(
+    query: MapReduceQuery,
+    tables: Tables,
+    sample_size: int,
+    rng: random.Random,
+) -> PartitionedSample:
+    """Run Partition & Sample for ``query`` over its protected table.
+
+    If the dataset has fewer than ``sample_size`` records, every record
+    is sampled (the paper: n is lowered to |x|, giving the *exact*
+    neighbour set).
+    """
+    records = tables[query.protected_table]
+    if not records:
+        raise DPError(
+            f"protected table {query.protected_table!r} is empty; "
+            "nothing to protect"
+        )
+    n = min(sample_size, len(records))
+
+    partition_ids = [partition_of(r) for r in records]
+    partitions: Tuple[List[Row], List[Row]] = ([], [])
+    for record, pid in zip(records, partition_ids):
+        partitions[pid].append(record)
+
+    sampled_indices = sorted(rng.sample(range(len(records)), n))
+    sampled_set = set(sampled_indices)
+    sampled = [records[i] for i in sampled_indices]
+    sampled_parts = [partition_ids[i] for i in sampled_indices]
+
+    remaining: Tuple[List[Row], List[Row]] = ([], [])
+    for i, (record, pid) in enumerate(zip(records, partition_ids)):
+        if i not in sampled_set:
+            remaining[pid].append(record)
+
+    domain_samples = [
+        query.sample_domain_record(rng, tables) for _ in range(n)
+    ]
+    return PartitionedSample(
+        partitions=partitions,
+        sampled=sampled,
+        sampled_partitions=sampled_parts,
+        remaining=remaining,
+        domain_samples=domain_samples,
+    )

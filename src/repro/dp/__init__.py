@@ -1,0 +1,18 @@
+"""Differential-privacy foundations: mechanisms, sensitivity, budget.
+
+These are the textbook building blocks UPA composes: Laplace/Gaussian
+noise calibrated to a sensitivity value, and an epsilon accountant with
+sequential composition.
+"""
+
+from repro.dp.budget import PrivacyAccountant
+from repro.dp.mechanisms import GaussianMechanism, LaplaceMechanism, laplace_noise
+from repro.dp.sensitivity import SensitivityEstimate
+
+__all__ = [
+    "GaussianMechanism",
+    "LaplaceMechanism",
+    "PrivacyAccountant",
+    "SensitivityEstimate",
+    "laplace_noise",
+]

@@ -1,0 +1,69 @@
+"""Privacy budget accounting (sequential composition)."""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.common.errors import DPError, PrivacyBudgetExceeded
+
+
+@dataclass
+class _Charge:
+    epsilon: float
+    delta: float
+    label: str
+
+
+class PrivacyAccountant:
+    """Tracks cumulative (epsilon, delta) spend under sequential composition.
+
+    Example:
+        >>> acct = PrivacyAccountant(total_epsilon=1.0)
+        >>> acct.charge(0.4, label="q1")
+        >>> acct.remaining_epsilon()
+        0.6
+    """
+
+    def __init__(self, total_epsilon: float, total_delta: float = 0.0):
+        if total_epsilon <= 0:
+            raise DPError(f"total_epsilon must be positive, got {total_epsilon}")
+        if total_delta < 0:
+            raise DPError(f"total_delta must be non-negative, got {total_delta}")
+        self.total_epsilon = total_epsilon
+        self.total_delta = total_delta
+        self._lock = threading.Lock()
+        self._charges: List[_Charge] = []
+
+    def spent(self) -> Tuple[float, float]:
+        with self._lock:
+            return (
+                sum(c.epsilon for c in self._charges),
+                sum(c.delta for c in self._charges),
+            )
+
+    def remaining_epsilon(self) -> float:
+        return self.total_epsilon - self.spent()[0]
+
+    def remaining_delta(self) -> float:
+        return self.total_delta - self.spent()[1]
+
+    def charge(self, epsilon: float, delta: float = 0.0, label: str = "") -> None:
+        """Record a query's spend; raises if the budget would be exceeded."""
+        if epsilon <= 0:
+            raise DPError(f"charged epsilon must be positive, got {epsilon}")
+        if delta < 0:
+            raise DPError(f"charged delta must be non-negative, got {delta}")
+        with self._lock:
+            spent_eps = sum(c.epsilon for c in self._charges)
+            spent_delta = sum(c.delta for c in self._charges)
+            if spent_eps + epsilon > self.total_epsilon + 1e-12:
+                raise PrivacyBudgetExceeded(epsilon, self.total_epsilon - spent_eps)
+            if spent_delta + delta > self.total_delta + 1e-15:
+                raise PrivacyBudgetExceeded(delta, self.total_delta - spent_delta)
+            self._charges.append(_Charge(epsilon, delta, label))
+
+    def history(self) -> List[Tuple[float, float, str]]:
+        with self._lock:
+            return [(c.epsilon, c.delta, c.label) for c in self._charges]

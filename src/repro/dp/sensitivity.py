@@ -1,0 +1,69 @@
+"""Sensitivity definitions and result containers.
+
+Definitions follow the paper's section II-A:
+
+* **global sensitivity** — max |f(x) - f(y)| over *all* neighbouring
+  pairs in the query's domain;
+* **local sensitivity** — max |f(x) - f(y)| over neighbours y of the
+  *actual* input x (Definition II.1); UPA infers this;
+* **smooth sensitivity** — a beta-smoothed upper envelope of local
+  sensitivity at all distances (Nissim et al.), used by FLEX.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SensitivityEstimate:
+    """A sensitivity value plus provenance for reporting.
+
+    Attributes:
+        value: the (scalar, L1) sensitivity.
+        kind: 'local', 'global', or 'smooth'.
+        method: which system produced it ('upa', 'flex', 'bruteforce', 'manual').
+        detail: free-form notes (e.g. FLEX's per-join stability factors).
+    """
+
+    value: float
+    kind: str = "local"
+    method: str = "manual"
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise ValueError(f"sensitivity must be non-negative, got {self.value}")
+        if self.kind not in ("local", "global", "smooth"):
+            raise ValueError(f"unknown sensitivity kind {self.kind!r}")
+
+
+def smooth_sensitivity(
+    local_at_distance: Sequence[float], beta: float
+) -> float:
+    """Beta-smooth sensitivity: max_k exp(-beta * k) * LS_k.
+
+    ``local_at_distance[k]`` is the local sensitivity at Hamming
+    distance k from the input dataset.
+    """
+    if beta < 0:
+        raise ValueError(f"beta must be non-negative, got {beta}")
+    best = 0.0
+    for k, ls_k in enumerate(local_at_distance):
+        best = max(best, math.exp(-beta * k) * ls_k)
+    return best
+
+
+def l1_range_width(lower: np.ndarray, upper: np.ndarray) -> float:
+    """L1 width of a per-coordinate output range (UPA's vector sensitivity)."""
+    lower = np.asarray(lower, dtype=float)
+    upper = np.asarray(upper, dtype=float)
+    if lower.shape != upper.shape:
+        raise ValueError(f"range bounds shape mismatch: {lower.shape} vs {upper.shape}")
+    if np.any(upper < lower):
+        raise ValueError("upper bound below lower bound")
+    return float(np.sum(upper - lower))

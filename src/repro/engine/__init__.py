@@ -1,0 +1,37 @@
+"""A from-scratch, partitioned MapReduce engine (the "vanilla Spark" stand-in).
+
+The engine provides lazy, lineage-tracked RDDs with narrow and wide
+(shuffle) dependencies, a DAG scheduler that retries failed tasks by
+recomputing from lineage, an LRU block store for ``cache()``, broadcast
+variables, accumulators, and a metrics registry that counts tasks,
+shuffled records and simulated network cost.
+
+The UPA paper's claims rest on two semantic properties of MapReduce
+operators — commutativity and associativity — plus the observable cost
+structure of jobs (number of shuffles, records exchanged).  This engine
+exposes both: operator semantics match Spark's RDD API closely, and
+every shuffle/broadcast is counted by :class:`repro.engine.metrics.MetricsRegistry`.
+
+Example:
+    >>> from repro.engine import EngineContext
+    >>> ctx = EngineContext()
+    >>> ctx.parallelize(range(10)).map(lambda v: v * v).sum()
+    285
+"""
+
+from repro.engine.context import EngineContext
+from repro.engine.fault import FaultInjector
+from repro.engine.metrics import MetricsRegistry, MetricsSnapshot
+from repro.engine.partitioner import HashPartitioner, Partitioner, RangePartitioner
+from repro.engine.rdd import RDD
+
+__all__ = [
+    "EngineContext",
+    "FaultInjector",
+    "HashPartitioner",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "Partitioner",
+    "RDD",
+    "RangePartitioner",
+]

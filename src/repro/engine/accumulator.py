@@ -1,0 +1,37 @@
+"""Accumulators: write-only shared counters updated from tasks."""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Generic, TypeVar
+
+T = TypeVar("T")
+
+
+class Accumulator(Generic[T]):
+    """A commutative, associative accumulator.
+
+    Tasks call :meth:`add`; only the driver should read :attr:`value`.
+    The combine function must be commutative and associative for the
+    result to be deterministic regardless of task order — the same
+    property UPA relies on for MapReduce reducers.
+    """
+
+    def __init__(self, zero: T, combine: Callable[[T, T], T]):
+        self._lock = threading.Lock()
+        self._value = zero
+        self._combine = combine
+
+    def add(self, amount: T) -> None:
+        with self._lock:
+            self._value = self._combine(self._value, amount)
+
+    @property
+    def value(self) -> T:
+        with self._lock:
+            return self._value
+
+
+def int_accumulator(start: int = 0) -> Accumulator[int]:
+    """Convenience constructor for a summing integer accumulator."""
+    return Accumulator(start, lambda a, b: a + b)

@@ -1,0 +1,49 @@
+"""Broadcast variables: read-only values shared by all tasks.
+
+In a distributed engine broadcasting replicates a value to every worker;
+here it is a wrapper whose creation is *counted* by the metrics registry
+(size estimate = number of records for sized collections) so the cost
+model sees it — UPA's reduceByKeyDP broadcasts maps of sampled records
+(paper section V-B).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Generic, TypeVar
+
+from repro.engine.metrics import MetricsRegistry
+
+T = TypeVar("T")
+
+_ids = itertools.count()
+
+
+def _estimate_records(value: Any) -> int:
+    if isinstance(value, (list, tuple, set, frozenset, dict, str, bytes)):
+        return len(value)
+    return 1
+
+
+class Broadcast(Generic[T]):
+    """A broadcast value; access it through ``.value``."""
+
+    def __init__(self, value: T, metrics: MetricsRegistry, record_cost: float):
+        self.broadcast_id = next(_ids)
+        self._value = value
+        self._destroyed = False
+        records = _estimate_records(value)
+        metrics.incr(MetricsRegistry.BROADCASTS)
+        metrics.incr(MetricsRegistry.BROADCAST_RECORDS, records)
+        metrics.incr(MetricsRegistry.NETWORK_COST, records * record_cost)
+
+    @property
+    def value(self) -> T:
+        if self._destroyed:
+            raise RuntimeError(f"broadcast {self.broadcast_id} was destroyed")
+        return self._value
+
+    def destroy(self) -> None:
+        """Release the broadcast value."""
+        self._destroyed = True
+        self._value = None  # type: ignore[assignment]

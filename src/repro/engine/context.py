@@ -1,0 +1,103 @@
+"""EngineContext: entry point to the MapReduce engine.
+
+Owns the scheduler, shuffle manager, block store and metrics — the
+moral equivalent of a ``SparkContext``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any, Callable, Iterable, Optional, Sequence, TypeVar
+
+from repro.common.config import DEFAULT_CONFIG, EngineConfig
+from repro.engine.accumulator import Accumulator
+from repro.engine.broadcast import Broadcast
+from repro.engine.fault import FaultInjector
+from repro.engine.metrics import MetricsRegistry
+from repro.engine.rdd import RDD, ParallelCollectionRDD
+from repro.engine.scheduler import TaskScheduler
+from repro.engine.shuffle import ShuffleManager
+from repro.engine.storage import BlockStore
+
+T = TypeVar("T")
+
+
+class EngineContext:
+    """Creates RDDs and owns all engine services.
+
+    Example:
+        >>> ctx = EngineContext()
+        >>> rdd = ctx.parallelize([1, 2, 3, 4], num_partitions=2)
+        >>> rdd.map(lambda v: v + 1).collect()
+        [2, 3, 4, 5]
+    """
+
+    def __init__(self, config: Optional[EngineConfig] = None):
+        self.config = config or DEFAULT_CONFIG
+        self.metrics = MetricsRegistry()
+        self.block_store = BlockStore(self.config.cache_capacity_blocks, self.metrics)
+        self.scheduler = TaskScheduler(
+            self.metrics,
+            max_task_retries=self.config.max_task_retries,
+            use_threads=self.config.use_threads,
+            max_workers=self.config.max_workers,
+        )
+        self.shuffle_manager = ShuffleManager(self)
+        self._rdd_ids = itertools.count(1)
+        self._lock = threading.Lock()
+
+    def _next_rdd_id(self) -> int:
+        with self._lock:
+            return next(self._rdd_ids)
+
+    # ------------------------------------------------------------------
+    # RDD creation
+    # ------------------------------------------------------------------
+
+    def parallelize(
+        self, data: Iterable[T], num_partitions: Optional[int] = None
+    ) -> RDD:
+        """Distribute an in-memory collection into an RDD."""
+        return ParallelCollectionRDD(
+            self, list(data), num_partitions or self.config.default_parallelism
+        )
+
+    def empty_rdd(self) -> RDD:
+        return ParallelCollectionRDD(self, [], 1)
+
+    def union(self, rdds: Sequence[RDD]) -> RDD:
+        """Union of several RDDs."""
+        if not rdds:
+            return self.empty_rdd()
+        result = rdds[0]
+        for rdd in rdds[1:]:
+            result = result.union(rdd)
+        return result
+
+    # ------------------------------------------------------------------
+    # Shared variables
+    # ------------------------------------------------------------------
+
+    def broadcast(self, value: T) -> Broadcast:
+        """Ship a read-only value to all tasks (counted by the cost model)."""
+        return Broadcast(value, self.metrics, self.config.broadcast_record_cost)
+
+    def accumulator(self, zero: T, combine: Callable[[T, T], T]) -> Accumulator:
+        return Accumulator(zero, combine)
+
+    # ------------------------------------------------------------------
+    # Fault injection (tests / chaos benchmarks)
+    # ------------------------------------------------------------------
+
+    def install_fault_injector(self, injector: Optional[FaultInjector]) -> None:
+        """Install (or clear, with None) a task-level fault injector."""
+        self.scheduler.fault_injector = injector
+
+    def install_job_listener(self, listener) -> None:
+        """Install (or clear, with None) a job event listener."""
+        self.scheduler.job_listener = listener
+
+    def clear_shuffle_state(self) -> None:
+        """Drop stored shuffle outputs (frees memory between experiments)."""
+        self.shuffle_manager.clear()

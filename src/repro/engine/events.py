@@ -1,0 +1,67 @@
+"""Job event log: observability for engine executions.
+
+A listener attached to the scheduler records one event per job (stage
+id, partition count, wall time, task attempts), giving tests and
+benchmarks a structured view of *what ran* — the moral equivalent of
+Spark's event log / SparkListener.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class JobEvent:
+    """One completed job."""
+
+    stage_id: int
+    rdd_id: int
+    rdd_type: str
+    num_partitions: int
+    duration_seconds: float
+    task_attempts: int
+
+
+class JobListener:
+    """Collects :class:`JobEvent` records; install via
+    :meth:`repro.engine.context.EngineContext.install_job_listener`."""
+
+    def __init__(self, capacity: int = 10_000):
+        self._lock = threading.Lock()
+        self._events: List[JobEvent] = []
+        self._capacity = capacity
+
+    def record(self, event: JobEvent) -> None:
+        with self._lock:
+            self._events.append(event)
+            if len(self._events) > self._capacity:
+                del self._events[: len(self._events) - self._capacity]
+
+    def events(self) -> List[JobEvent]:
+        with self._lock:
+            return list(self._events)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+    def total_duration(self) -> float:
+        return sum(e.duration_seconds for e in self.events())
+
+    def jobs_over(self, seconds: float) -> List[JobEvent]:
+        """Slow-job report: every job longer than ``seconds``."""
+        return [e for e in self.events() if e.duration_seconds > seconds]
+
+    def summary(self) -> str:
+        """One-line-per-job text report."""
+        lines = [
+            f"stage={e.stage_id} rdd={e.rdd_type}[{e.rdd_id}] "
+            f"partitions={e.num_partitions} tasks={e.task_attempts} "
+            f"{e.duration_seconds * 1000:.1f}ms"
+            for e in self.events()
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Fault injection for the engine's tasks.
+
+Distributed engines must tolerate worker failures; Spark does so by
+recomputing lost partitions from lineage.  UPA's correctness argument
+assumes operators are commutative and associative *because* this lets
+failed work be redone in any order.  The fault injector lets tests kill
+a configurable fraction of task attempts and assert that results are
+identical to a failure-free run.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.common.rng import make_rng
+
+
+class InjectedFault(Exception):
+    """Raised inside a task attempt chosen to fail by the injector."""
+
+    def __init__(self, stage_id: int, partition: int, attempt: int):
+        super().__init__(
+            f"injected fault in stage {stage_id} partition {partition} "
+            f"attempt {attempt}"
+        )
+
+
+class FaultInjector:
+    """Randomly fails task attempts with a given probability.
+
+    Args:
+        failure_probability: chance that any single task *attempt* fails.
+        max_failures: optional hard cap on total injected failures, so a
+            high probability cannot fail the same task past the retry
+            limit in tests.
+        seed: RNG seed for deterministic failure patterns.
+    """
+
+    def __init__(
+        self,
+        failure_probability: float = 0.0,
+        max_failures: Optional[int] = None,
+        seed: Optional[int] = 0,
+    ):
+        if not 0.0 <= failure_probability <= 1.0:
+            raise ValueError("failure_probability must be within [0, 1]")
+        self.failure_probability = failure_probability
+        self.max_failures = max_failures
+        self._rng = make_rng(seed, "fault-injector")
+        self._lock = threading.Lock()
+        self.failures_injected = 0
+
+    def maybe_fail(self, stage_id: int, partition: int, attempt: int) -> None:
+        """Raise :class:`InjectedFault` for attempts selected to fail."""
+        if self.failure_probability == 0.0:
+            return
+        with self._lock:
+            if self.max_failures is not None and self.failures_injected >= self.max_failures:
+                return
+            if self._rng.random() < self.failure_probability:
+                self.failures_injected += 1
+                raise InjectedFault(stage_id, partition, attempt)

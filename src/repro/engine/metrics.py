@@ -1,0 +1,82 @@
+"""Engine metrics: counters for tasks, shuffles, cache and simulated cost.
+
+The reproduction uses metrics in two ways:
+
+* tests assert structural facts (e.g. "UPA's joinDP triggers exactly two
+  shuffles where vanilla join triggers one", paper section V-C);
+* benchmarks report a deterministic cost model (records shuffled times a
+  per-record cost) alongside wall-clock time, because wall-clock on a
+  laptop does not reflect a 40 Gbps cluster but the *structure* does.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Immutable snapshot of all counters at a point in time."""
+
+    counters: Dict[str, float] = field(default_factory=dict)
+
+    def get(self, name: str) -> float:
+        return self.counters.get(name, 0.0)
+
+    def diff(self, earlier: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Counters accumulated since ``earlier``."""
+        keys = set(self.counters) | set(earlier.counters)
+        return MetricsSnapshot(
+            {k: self.counters.get(k, 0.0) - earlier.counters.get(k, 0.0) for k in keys}
+        )
+
+
+class MetricsRegistry:
+    """Thread-safe counter registry attached to an :class:`EngineContext`."""
+
+    #: Counter names used by the engine itself.
+    JOBS = "jobs_run"
+    TASKS = "tasks_run"
+    TASK_RETRIES = "task_retries"
+    SHUFFLES = "shuffles"
+    RECORDS_SHUFFLED = "records_shuffled"
+    RECORDS_READ = "records_read"
+    CACHE_HITS = "cache_hits"
+    CACHE_MISSES = "cache_misses"
+    CACHE_EVICTIONS = "cache_evictions"
+    BROADCASTS = "broadcasts"
+    BROADCAST_RECORDS = "broadcast_records"
+    NETWORK_COST = "simulated_network_cost"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, float] = {}
+
+    def incr(self, name: str, amount: float = 1.0) -> None:
+        """Add ``amount`` to counter ``name`` (creating it at zero)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0.0) + amount
+
+    def get(self, name: str) -> float:
+        with self._lock:
+            return self._counters.get(name, 0.0)
+
+    def snapshot(self) -> MetricsSnapshot:
+        with self._lock:
+            return MetricsSnapshot(dict(self._counters))
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+
+    def cache_hit_rate(self) -> float:
+        """Fraction of block lookups served from cache (0.0 if none)."""
+        with self._lock:
+            hits = self._counters.get(self.CACHE_HITS, 0.0)
+            misses = self._counters.get(self.CACHE_MISSES, 0.0)
+        total = hits + misses
+        if total == 0:
+            return 0.0
+        return hits / total

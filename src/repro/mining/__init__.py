@@ -1,0 +1,27 @@
+"""Machine-learning workloads: KMeans and Linear Regression (Table II).
+
+The paper runs both on the "ds1.10 Life Science" dataset; we substitute
+a seeded Gaussian-mixture generator with heavy-tailed outliers
+(:mod:`repro.mining.datasets`) — the DP-relevant property is that
+individual records influence the aggregated model update by varying,
+occasionally extreme, amounts.
+
+Both queries follow the paper's MapReduce decomposition (section III,
+the LR walk-through): the Mapper computes a per-record statistic
+(gradient term / cluster assignment) against the *current* model held
+in aux, the Reducer sums, and ``finalize`` produces the updated model —
+one synchronous update step, which is exactly the unit the paper
+privatizes.  Multi-step training composes steps under the privacy
+accountant (see ``examples/private_ml.py``).
+"""
+
+from repro.mining.datasets import LifeScienceConfig, make_life_science_tables
+from repro.mining.kmeans import KMeansQuery
+from repro.mining.linreg import LinearRegressionQuery
+
+__all__ = [
+    "KMeansQuery",
+    "LifeScienceConfig",
+    "LinearRegressionQuery",
+    "make_life_science_tables",
+]

@@ -1,0 +1,103 @@
+"""Linear Regression as a UPA MapReduceQuery (paper's running example).
+
+One gradient-descent step on squared loss:
+
+* Mapper: per record, the gradient contribution
+  ``(prediction - label) * [features, 1]`` at the current weights
+  (held in aux), plus a count of 1.
+* Reducer: elementwise sum (commutative + associative).
+* finalize: ``weights - lr * grad_sum / count`` — the updated model,
+  which is the query output the paper privatizes (its evaluation notes
+  LR's output differs across neighbouring datasets, hence iDP matters).
+
+The output is a vector of dimension ``dim + 1``; UPA infers a
+per-coordinate output range and uses the L1 width as sensitivity.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Optional, Tuple
+
+import numpy as np
+
+from repro.core.query import MapReduceQuery, Row, Tables
+from repro.mining.datasets import LifeScienceConfig, domain_point
+
+
+class LinearRegressionQuery(MapReduceQuery):
+    """One synchronous SGD step over the ``points`` table."""
+
+    name = "linreg"
+    protected_table = "points"
+    query_type = "ml"
+    flex_supported = False
+
+    def __init__(
+        self,
+        dim: int = 4,
+        learning_rate: float = 0.005,
+        initial_weights: Optional[np.ndarray] = None,
+        dataset_config: Optional[LifeScienceConfig] = None,
+    ):
+        self.dim = dim
+        self.learning_rate = learning_rate
+        if initial_weights is None:
+            initial_weights = np.zeros(dim + 1)
+        self.initial_weights = np.asarray(initial_weights, dtype=float)
+        if self.initial_weights.shape != (dim + 1,):
+            raise ValueError(
+                f"initial_weights must have shape ({dim + 1},), got "
+                f"{self.initial_weights.shape}"
+            )
+        self.output_dim = dim + 1
+        self._dataset_config = dataset_config or LifeScienceConfig(dim=dim)
+
+    # -- monoid ------------------------------------------------------------
+
+    def build_aux(self, tables: Tables) -> np.ndarray:
+        return self.initial_weights
+
+    def map_record(self, record: Row, aux: np.ndarray) -> Tuple[np.ndarray, int]:
+        x = np.asarray(record["features"], dtype=float)
+        extended = np.append(x, 1.0)
+        residual = float(extended @ aux) - record["label"]
+        return (residual * extended, 1)
+
+    def zero(self) -> Tuple[np.ndarray, int]:
+        return (np.zeros(self.output_dim), 0)
+
+    def combine(self, a, b):
+        return (a[0] + b[0], a[1] + b[1])
+
+    def finalize(self, agg, aux: np.ndarray) -> np.ndarray:
+        grad_sum, count = agg
+        if count == 0:
+            return aux.copy()
+        return aux - self.learning_rate * grad_sum / count
+
+    def sample_domain_record(self, rng: random.Random, tables: Tables) -> Row:
+        return domain_point(rng, self._dataset_config)
+
+    # -- convenience: full (non-private) training loop ---------------------
+
+    def train(self, tables: Tables, steps: int = 20) -> np.ndarray:
+        """Plain gradient descent for ``steps`` steps (reference/testing)."""
+        weights = self.initial_weights
+        for _ in range(steps):
+            step = LinearRegressionQuery(
+                self.dim, self.learning_rate, weights, self._dataset_config
+            )
+            weights = step.output(tables)
+        return weights
+
+    @staticmethod
+    def mean_squared_error(tables: Tables, weights: np.ndarray) -> float:
+        """MSE of a model over the points table (utility metric)."""
+        total = 0.0
+        rows = tables["points"]
+        for record in rows:
+            extended = np.append(np.asarray(record["features"]), 1.0)
+            residual = float(extended @ weights) - record["label"]
+            total += residual * residual
+        return total / len(rows)

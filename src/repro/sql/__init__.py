@@ -1,0 +1,37 @@
+"""A small SQL/DataFrame layer compiled onto the MapReduce engine.
+
+This is the "SparkSQL" stand-in: expression AST, logical plans, a
+rule-based optimizer, physical execution over RDDs, a DataFrame builder
+API, and a text parser for the SQL subset used by the TPC-H workloads.
+
+The FLEX baseline (:mod:`repro.baselines.flex`) performs its static
+analysis directly on the logical plans produced here, exactly as the
+original operated on SQL query plans.
+
+Example:
+    >>> from repro.sql import SQLSession
+    >>> sess = SQLSession()
+    >>> sess.create_table("t", [{"a": 1}, {"a": 2}, {"a": 2}])
+    >>> sess.sql("SELECT COUNT(*) AS n FROM t WHERE a = 2").collect()
+    [{'n': 2}]
+"""
+
+from repro.sql.dataframe import DataFrame
+from repro.sql.expr import Expression, col, lit
+from repro.sql.functions import avg, count, count_distinct, count_star, max_, min_, sum_
+from repro.sql.session import SQLSession
+
+__all__ = [
+    "DataFrame",
+    "Expression",
+    "SQLSession",
+    "avg",
+    "col",
+    "count",
+    "count_distinct",
+    "count_star",
+    "lit",
+    "max_",
+    "min_",
+    "sum_",
+]

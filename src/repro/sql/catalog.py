@@ -1,0 +1,68 @@
+"""Catalog of named tables backing the SQL layer."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.common.errors import AnalysisError
+from repro.engine.rdd import RDD
+from repro.sql.types import Schema
+
+
+class Table:
+    """A named table: schema + rows, materialized as an RDD on demand."""
+
+    def __init__(self, name: str, schema: Schema, rows: List[Dict[str, Any]]):
+        self.name = name
+        self.schema = schema
+        self.rows = rows
+        self._rdd: Optional[RDD] = None
+
+    def invalidate(self) -> None:
+        self._rdd = None
+
+
+class Catalog:
+    """Maps table names to :class:`Table` objects."""
+
+    def __init__(self, engine):
+        self._engine = engine
+        self._tables: Dict[str, Table] = {}
+
+    def register(
+        self,
+        name: str,
+        rows: Sequence[Dict[str, Any]],
+        schema: Optional[Schema] = None,
+    ) -> Table:
+        """Register (or replace) a table from in-memory rows."""
+        rows = list(rows)
+        if schema is None:
+            schema = Schema.from_rows(rows)
+        table = Table(name, schema, rows)
+        self._tables[name] = table
+        return table
+
+    def drop(self, name: str) -> None:
+        self._tables.pop(name, None)
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise AnalysisError(
+                f"unknown table {name!r}; registered: {sorted(self._tables)}"
+            ) from None
+
+    def has(self, name: str) -> bool:
+        return name in self._tables
+
+    def names(self) -> List[str]:
+        return sorted(self._tables)
+
+    def rdd(self, name: str) -> RDD:
+        """RDD of a table's rows (created lazily, reused afterwards)."""
+        table = self.table(name)
+        if table._rdd is None:
+            table._rdd = self._engine.parallelize(table.rows)
+        return table._rdd

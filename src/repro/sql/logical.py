@@ -1,0 +1,369 @@
+"""Logical query plans.
+
+Plan nodes are immutable-ish trees that carry an output schema.  They
+are built by the DataFrame API or the SQL parser, rewritten by the
+optimizer, and executed by :mod:`repro.sql.physical`.  The FLEX
+baseline walks these trees for its static sensitivity analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.common.errors import AnalysisError
+from repro.sql.expr import Expression
+from repro.sql.functions import AggregateSpec
+from repro.sql.types import ANY, Field, Schema
+
+JOIN_TYPES = ("inner", "left", "semi", "anti")
+
+
+class LogicalPlan:
+    """Base class: every node knows its children and output schema."""
+
+    def children(self) -> Sequence["LogicalPlan"]:
+        raise NotImplementedError
+
+    @property
+    def schema(self) -> Schema:
+        raise NotImplementedError
+
+    def with_children(self, children: Sequence["LogicalPlan"]) -> "LogicalPlan":
+        """Rebuild this node with new children (for optimizer rewrites)."""
+        raise NotImplementedError
+
+    # -- pretty printing --------------------------------------------------
+
+    def _describe(self) -> str:
+        return type(self).__name__
+
+    def pretty(self, indent: int = 0) -> str:
+        lines = ["  " * indent + self._describe()]
+        for child in self.children():
+            lines.append(child.pretty(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return self.pretty()
+
+    # -- traversal helpers -------------------------------------------------
+
+    def walk(self):
+        """Yield every node, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+class Scan(LogicalPlan):
+    """Read a named table from the catalog."""
+
+    def __init__(self, table_name: str, schema: Schema):
+        self.table_name = table_name
+        self._schema = schema
+
+    def children(self) -> Sequence[LogicalPlan]:
+        return ()
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def with_children(self, children: Sequence[LogicalPlan]) -> "Scan":
+        if children:
+            raise AnalysisError("Scan takes no children")
+        return self
+
+    def _describe(self) -> str:
+        return f"Scan({self.table_name})"
+
+
+class Filter(LogicalPlan):
+    """Keep rows where ``condition`` is true."""
+
+    def __init__(self, child: LogicalPlan, condition: Expression):
+        missing = condition.references() - set(child.schema.names)
+        if missing:
+            raise AnalysisError(
+                f"filter references unknown columns {sorted(missing)}; "
+                f"child has {child.schema.names}"
+            )
+        self.child = child
+        self.condition = condition
+
+    def children(self) -> Sequence[LogicalPlan]:
+        return (self.child,)
+
+    @property
+    def schema(self) -> Schema:
+        return self.child.schema
+
+    def with_children(self, children: Sequence[LogicalPlan]) -> "Filter":
+        (child,) = children
+        return Filter(child, self.condition)
+
+    def _describe(self) -> str:
+        return f"Filter({self.condition!r})"
+
+
+class Project(LogicalPlan):
+    """Compute output columns from expressions."""
+
+    def __init__(self, child: LogicalPlan, exprs: Sequence[Expression]):
+        child_cols = set(child.schema.names)
+        for expr in exprs:
+            missing = expr.references() - child_cols
+            if missing:
+                raise AnalysisError(
+                    f"projection {expr!r} references unknown columns "
+                    f"{sorted(missing)}"
+                )
+        names = [e.output_name() for e in exprs]
+        if len(set(names)) != len(names):
+            raise AnalysisError(f"duplicate output names in projection: {names}")
+        self.child = child
+        self.exprs = list(exprs)
+        self._schema = Schema([Field(n, ANY) for n in names])
+
+    def children(self) -> Sequence[LogicalPlan]:
+        return (self.child,)
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def with_children(self, children: Sequence[LogicalPlan]) -> "Project":
+        (child,) = children
+        return Project(child, self.exprs)
+
+    def _describe(self) -> str:
+        return f"Project({', '.join(e.output_name() for e in self.exprs)})"
+
+
+class Join(LogicalPlan):
+    """Equi-join on key expression pairs, with an optional residual.
+
+    ``how`` in {'inner', 'left', 'semi', 'anti'}.  Semi/anti output only
+    the left side's columns (SQL EXISTS / NOT EXISTS).
+
+    ``residual`` is an extra match condition evaluated per candidate
+    pair *after* the equi-key match.  Because semi/anti self-joins can
+    have identical column names on both sides (e.g. TPC-H Q21 joins
+    lineitem with lineitem), the residual sees the right side's columns
+    under the prefix :data:`RESIDUAL_RIGHT_PREFIX` — e.g.
+    ``col("__r_l_suppkey") != col("l_suppkey")``.
+    """
+
+    RESIDUAL_RIGHT_PREFIX = "__r_"
+
+    def __init__(
+        self,
+        left: LogicalPlan,
+        right: LogicalPlan,
+        keys: Sequence[Tuple[Expression, Expression]],
+        how: str = "inner",
+        residual: Optional[Expression] = None,
+    ):
+        if how not in JOIN_TYPES:
+            raise AnalysisError(f"join type {how!r} not in {JOIN_TYPES}")
+        if not keys:
+            raise AnalysisError("join needs at least one key pair")
+        left_cols = set(left.schema.names)
+        right_cols = set(right.schema.names)
+        for left_key, right_key in keys:
+            if left_key.references() - left_cols:
+                raise AnalysisError(
+                    f"left join key {left_key!r} not in {sorted(left_cols)}"
+                )
+            if right_key.references() - right_cols:
+                raise AnalysisError(
+                    f"right join key {right_key!r} not in {sorted(right_cols)}"
+                )
+        if residual is not None:
+            prefix = self.RESIDUAL_RIGHT_PREFIX
+            for ref in residual.references():
+                if ref.startswith(prefix):
+                    if ref[len(prefix):] not in right_cols:
+                        raise AnalysisError(
+                            f"residual references unknown right column {ref!r}"
+                        )
+                elif ref not in left_cols:
+                    raise AnalysisError(
+                        f"residual references unknown left column {ref!r}"
+                    )
+        self.left = left
+        self.right = right
+        self.keys = list(keys)
+        self.how = how
+        self.residual = residual
+        if how in ("semi", "anti"):
+            self._schema = left.schema
+        else:
+            overlap = left_cols & right_cols
+            if overlap:
+                raise AnalysisError(
+                    f"join output column collision: {sorted(overlap)}; "
+                    "project/rename one side before joining"
+                )
+            self._schema = left.schema.merge(right.schema)
+
+    def children(self) -> Sequence[LogicalPlan]:
+        return (self.left, self.right)
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def with_children(self, children: Sequence[LogicalPlan]) -> "Join":
+        left, right = children
+        return Join(left, right, self.keys, self.how, residual=self.residual)
+
+    def _describe(self) -> str:
+        key_desc = ", ".join(f"{l!r}={r!r}" for l, r in self.keys)
+        extra = f", residual={self.residual!r}" if self.residual is not None else ""
+        return f"Join[{self.how}]({key_desc}{extra})"
+
+
+class Aggregate(LogicalPlan):
+    """GROUP BY with aggregate outputs (empty group list = global agg)."""
+
+    def __init__(
+        self,
+        child: LogicalPlan,
+        group_exprs: Sequence[Expression],
+        aggregates: Sequence[AggregateSpec],
+    ):
+        child_cols = set(child.schema.names)
+        for expr in group_exprs:
+            if expr.references() - child_cols:
+                raise AnalysisError(f"group expression {expr!r} references unknown columns")
+        for agg in aggregates:
+            if agg.references() - child_cols:
+                raise AnalysisError(f"aggregate {agg!r} references unknown columns")
+        if not aggregates and not group_exprs:
+            raise AnalysisError("aggregate needs group expressions or aggregates")
+        self.child = child
+        self.group_exprs = list(group_exprs)
+        self.aggregates = list(aggregates)
+        names = [e.output_name() for e in self.group_exprs] + [
+            a.alias for a in self.aggregates
+        ]
+        if len(set(names)) != len(names):
+            raise AnalysisError(f"duplicate output names in aggregate: {names}")
+        self._schema = Schema([Field(n, ANY) for n in names])
+
+    def children(self) -> Sequence[LogicalPlan]:
+        return (self.child,)
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def with_children(self, children: Sequence[LogicalPlan]) -> "Aggregate":
+        (child,) = children
+        return Aggregate(child, self.group_exprs, self.aggregates)
+
+    def _describe(self) -> str:
+        groups = ", ".join(e.output_name() for e in self.group_exprs)
+        aggs = ", ".join(repr(a) for a in self.aggregates)
+        return f"Aggregate(by=[{groups}], aggs=[{aggs}])"
+
+
+class Sort(LogicalPlan):
+    """ORDER BY one or more (expression, ascending) pairs."""
+
+    def __init__(self, child: LogicalPlan, orders: Sequence[Tuple[Expression, bool]]):
+        child_cols = set(child.schema.names)
+        for expr, _asc in orders:
+            if expr.references() - child_cols:
+                raise AnalysisError(f"sort key {expr!r} references unknown columns")
+        self.child = child
+        self.orders = list(orders)
+
+    def children(self) -> Sequence[LogicalPlan]:
+        return (self.child,)
+
+    @property
+    def schema(self) -> Schema:
+        return self.child.schema
+
+    def with_children(self, children: Sequence[LogicalPlan]) -> "Sort":
+        (child,) = children
+        return Sort(child, self.orders)
+
+    def _describe(self) -> str:
+        keys = ", ".join(
+            f"{e!r} {'asc' if asc else 'desc'}" for e, asc in self.orders
+        )
+        return f"Sort({keys})"
+
+
+class Limit(LogicalPlan):
+    """Keep the first N rows."""
+
+    def __init__(self, child: LogicalPlan, n: int):
+        if n < 0:
+            raise AnalysisError("limit must be non-negative")
+        self.child = child
+        self.n = n
+
+    def children(self) -> Sequence[LogicalPlan]:
+        return (self.child,)
+
+    @property
+    def schema(self) -> Schema:
+        return self.child.schema
+
+    def with_children(self, children: Sequence[LogicalPlan]) -> "Limit":
+        (child,) = children
+        return Limit(child, self.n)
+
+    def _describe(self) -> str:
+        return f"Limit({self.n})"
+
+
+class Union(LogicalPlan):
+    """UNION ALL: concatenate plans with identical column names."""
+
+    def __init__(self, inputs: Sequence[LogicalPlan]):
+        if len(inputs) < 2:
+            raise AnalysisError("UNION ALL needs at least two inputs")
+        names = inputs[0].schema.names
+        for child in inputs[1:]:
+            if child.schema.names != names:
+                raise AnalysisError(
+                    f"UNION ALL column mismatch: {names} vs "
+                    f"{child.schema.names}"
+                )
+        self.inputs = list(inputs)
+
+    def children(self) -> Sequence[LogicalPlan]:
+        return tuple(self.inputs)
+
+    @property
+    def schema(self) -> Schema:
+        return self.inputs[0].schema
+
+    def with_children(self, children: Sequence[LogicalPlan]) -> "Union":
+        return Union(list(children))
+
+    def _describe(self) -> str:
+        return f"Union({len(self.inputs)} inputs)"
+
+
+class Distinct(LogicalPlan):
+    """Remove duplicate rows."""
+
+    def __init__(self, child: LogicalPlan):
+        self.child = child
+
+    def children(self) -> Sequence[LogicalPlan]:
+        return (self.child,)
+
+    @property
+    def schema(self) -> Schema:
+        return self.child.schema
+
+    def with_children(self, children: Sequence[LogicalPlan]) -> "Distinct":
+        (child,) = children
+        return Distinct(child)

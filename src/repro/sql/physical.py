@@ -1,0 +1,203 @@
+"""Physical execution: compile logical plans onto engine RDDs.
+
+Each logical node maps to one or a few RDD transformations; joins and
+aggregations become shuffles, so the engine's metrics directly reflect
+the plan's shuffle structure (which the Fig. 2(b) benchmark reports).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+from repro.common.errors import AnalysisError
+from repro.engine.rdd import RDD
+from repro.sql.expr import Expression, Row
+from repro.sql.functions import AggregateSpec
+from repro.sql.logical import (
+    Aggregate,
+    Distinct,
+    Filter,
+    Join,
+    Limit,
+    LogicalPlan,
+    Project,
+    Scan,
+    Sort,
+    Union,
+)
+
+
+class Executor:
+    """Compiles logical plans to RDDs against a catalog."""
+
+    def __init__(self, session):
+        self._session = session
+
+    def execute(self, plan: LogicalPlan) -> RDD:
+        """Compile ``plan`` into an RDD of dict rows."""
+        if isinstance(plan, Scan):
+            return self._session.catalog.rdd(plan.table_name)
+        if isinstance(plan, Filter):
+            condition = plan.condition
+            return self.execute(plan.child).filter(
+                lambda row: bool(condition.eval(row))
+            )
+        if isinstance(plan, Project):
+            return self._execute_project(plan)
+        if isinstance(plan, Join):
+            return self._execute_join(plan)
+        if isinstance(plan, Aggregate):
+            return self._execute_aggregate(plan)
+        if isinstance(plan, Sort):
+            return self._execute_sort(plan)
+        if isinstance(plan, Limit):
+            taken = self.execute(plan.child).take(plan.n)
+            return self._session.engine.parallelize(taken, 1)
+        if isinstance(plan, Distinct):
+            return self._execute_distinct(plan)
+        if isinstance(plan, Union):
+            rdds = [self.execute(child) for child in plan.inputs]
+            return self._session.engine.union(rdds)
+        raise AnalysisError(f"no physical operator for {type(plan).__name__}")
+
+    # ------------------------------------------------------------------
+
+    def _execute_project(self, plan: Project) -> RDD:
+        exprs: List[Tuple[str, Expression]] = [
+            (e.output_name(), e) for e in plan.exprs
+        ]
+
+        def project_row(row: Row) -> Row:
+            return {name: expr.eval(row) for name, expr in exprs}
+
+        return self.execute(plan.child).map(project_row)
+
+    def _execute_join(self, plan: Join) -> RDD:
+        left_keys = [k for k, _ in plan.keys]
+        right_keys = [k for _, k in plan.keys]
+        left_rdd = self.execute(plan.left).map(
+            lambda row: (tuple(k.eval(row) for k in left_keys), row)
+        )
+        right_rdd = self.execute(plan.right).map(
+            lambda row: (tuple(k.eval(row) for k in right_keys), row)
+        )
+        residual = plan.residual
+        prefix = Join.RESIDUAL_RIGHT_PREFIX
+
+        if plan.how == "inner":
+            overlap = set(plan.left.schema.names) & set(plan.right.schema.names)
+            if overlap:
+                raise AnalysisError(
+                    f"inner join output column collision: {sorted(overlap)}; "
+                    "project/rename before joining"
+                )
+
+            def merge(kv):
+                _key, (left_row, right_row) = kv
+                merged = dict(left_row)
+                merged.update(right_row)
+                return merged
+
+            joined = left_rdd.join(right_rdd).map(merge)
+            if residual is not None:
+                joined = joined.filter(lambda row: bool(residual.eval(row)))
+            return joined
+
+        if plan.how == "left":
+            right_names = plan.right.schema.names
+
+            def merge_left(kv):
+                _key, (left_row, right_row) = kv
+                merged = dict(left_row)
+                if right_row is None:
+                    merged.update({n: None for n in right_names})
+                else:
+                    merged.update(right_row)
+                return merged
+
+            return left_rdd.left_outer_join(right_rdd).map(merge_left)
+
+        # semi / anti, possibly with a residual condition.
+        want_match = plan.how == "semi"
+
+        def matches(left_row: Row, right_rows: Sequence[Row]) -> bool:
+            if residual is None:
+                return bool(right_rows)
+            for right_row in right_rows:
+                candidate = dict(left_row)
+                for name, value in right_row.items():
+                    candidate[prefix + name] = value
+                if residual.eval(candidate):
+                    return True
+            return False
+
+        def emit(kvw):
+            _key, (left_rows, right_rows) = kvw
+            for left_row in left_rows:
+                if matches(left_row, right_rows) == want_match:
+                    yield left_row
+
+        return left_rdd.cogroup(right_rdd).flat_map(emit)
+
+    def _execute_aggregate(self, plan: Aggregate) -> RDD:
+        child = self.execute(plan.child)
+        specs = plan.aggregates
+        group_exprs = plan.group_exprs
+
+        def init(row: Row) -> List[Any]:
+            return [spec.add(spec.zero(), row) for spec in specs]
+
+        def add(acc: List[Any], row: Row) -> List[Any]:
+            return [spec.add(a, row) for spec, a in zip(specs, acc)]
+
+        def merge(a: List[Any], b: List[Any]) -> List[Any]:
+            return [spec.merge(x, y) for spec, x, y in zip(specs, a, b)]
+
+        if not group_exprs:
+            acc = child.aggregate([spec.zero() for spec in specs], add, merge)
+            row = {
+                spec.alias: spec.finish(value) for spec, value in zip(specs, acc)
+            }
+            return self._session.engine.parallelize([row], 1)
+
+        group_names = [e.output_name() for e in group_exprs]
+
+        def to_output(kv) -> Row:
+            key, acc = kv
+            row = dict(zip(group_names, key))
+            for spec, value in zip(specs, acc):
+                row[spec.alias] = spec.finish(value)
+            return row
+
+        keyed = child.map(
+            lambda row: (tuple(e.eval(row) for e in group_exprs), row)
+        )
+        return keyed.combine_by_key(init, add, merge).map(to_output)
+
+    def _execute_sort(self, plan: Sort) -> RDD:
+        child = self.execute(plan.child)
+        orders = plan.orders
+        directions = {asc for _e, asc in orders}
+        if len(directions) == 1:
+            ascending = directions.pop()
+            return child.sort_by(
+                lambda row: tuple(e.eval(row) for e, _a in orders),
+                ascending=ascending,
+            )
+        # Mixed directions: stable multi-pass sort on the driver.  Sorts
+        # sit above aggregations in our workloads, so inputs are small.
+        rows = child.collect()
+        for expr, ascending in reversed(orders):
+            rows.sort(key=lambda row, _e=expr: _e.eval(row), reverse=not ascending)
+        return self._session.engine.parallelize(rows, 1)
+
+    def _execute_distinct(self, plan: Distinct) -> RDD:
+        names = plan.schema.names
+
+        def to_tuple(row: Row) -> Tuple[Any, ...]:
+            return tuple(row[n] for n in names)
+
+        def to_row(values: Tuple[Any, ...]) -> Row:
+            return dict(zip(names, values))
+
+        return self.execute(plan.child).map(to_tuple).distinct().map(to_row)

@@ -1,0 +1,72 @@
+"""SQLSession: catalog + engine + optimizer + parser in one handle."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence
+
+from repro.common.config import EngineConfig
+from repro.engine.context import EngineContext
+from repro.engine.rdd import RDD
+from repro.sql.catalog import Catalog
+from repro.sql.dataframe import DataFrame
+from repro.sql.logical import LogicalPlan, Scan
+from repro.sql.optimizer import optimize
+from repro.sql.physical import Executor
+from repro.sql.types import Schema
+
+
+class SQLSession:
+    """Entry point to the SQL layer.
+
+    Example:
+        >>> sess = SQLSession()
+        >>> sess.create_table("t", [{"a": 1, "b": 2}])
+        >>> sess.table("t").select("a").collect()
+        [{'a': 1}]
+    """
+
+    def __init__(
+        self,
+        engine: Optional[EngineContext] = None,
+        config: Optional[EngineConfig] = None,
+        enable_optimizer: bool = True,
+    ):
+        self.engine = engine or EngineContext(config)
+        self.catalog = Catalog(self.engine)
+        self.executor = Executor(self)
+        self.enable_optimizer = enable_optimizer
+
+    # ------------------------------------------------------------------
+    # Tables
+    # ------------------------------------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        rows: Sequence[Dict[str, Any]],
+        schema: Optional[Schema] = None,
+    ) -> DataFrame:
+        """Register in-memory rows as a named table."""
+        self.catalog.register(name, rows, schema)
+        return self.table(name)
+
+    def table(self, name: str) -> DataFrame:
+        """DataFrame scanning a registered table."""
+        table = self.catalog.table(name)
+        return DataFrame(self, Scan(name, table.schema))
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def optimize_plan(self, plan: LogicalPlan) -> LogicalPlan:
+        return optimize(plan) if self.enable_optimizer else plan
+
+    def execute_plan(self, plan: LogicalPlan) -> RDD:
+        return self.executor.execute(self.optimize_plan(plan))
+
+    def sql(self, text: str) -> DataFrame:
+        """Parse SQL text into a DataFrame (subset grammar, see parser)."""
+        from repro.sql.parser import parse_sql
+
+        return DataFrame(self, parse_sql(text, self))

@@ -1,0 +1,23 @@
+"""TPC-H substrate: seeded data generator and the paper's seven queries.
+
+The paper evaluates on 114-133 GB TPC-H datasets; we generate
+TPC-H-shaped tables at laptop scale with the *distributional* features
+that drive sensitivity: skewed join-key frequencies (lineitems per
+order, orders per customer, lineitems per supplier), date ranges,
+selective filters, and comment strings that match/miss the LIKE
+patterns.
+
+Each query is available in three equivalent forms:
+
+* SQL text (``sql_text()``) executed by :mod:`repro.sql`;
+* a DataFrame builder (``dataframe(session)``);
+* a :class:`repro.core.query.MapReduceQuery` (``mapreduce()``) used by
+  UPA, brute force and the benchmarks.
+
+Tests assert the three forms agree on the same generated tables.
+"""
+
+from repro.tpch.datagen import TPCHConfig, TPCHGenerator
+from repro.tpch.workload import all_queries, query_by_name
+
+__all__ = ["TPCHConfig", "TPCHGenerator", "all_queries", "query_by_name"]

@@ -1,0 +1,97 @@
+"""Persist generated tables to CSV and load them back.
+
+Datasets are deterministic given a seed, but benchmarks that span
+processes (or users who want to inspect the data) need files.  The
+format is plain CSV with a one-line typed header (``name:type``) so
+loading restores ints, floats and dates exactly.
+"""
+
+from __future__ import annotations
+
+import csv
+import datetime
+import os
+from typing import Any, Callable, Dict, List
+
+from repro.core.query import Row, Tables
+
+_SERIALIZERS: Dict[str, Callable[[Any], str]] = {
+    "int": str,
+    "float": repr,  # repr round-trips floats exactly
+    "str": str,
+    "date": lambda d: d.isoformat(),
+}
+
+_PARSERS: Dict[str, Callable[[str], Any]] = {
+    "int": int,
+    "float": float,
+    "str": str,
+    "date": datetime.date.fromisoformat,
+}
+
+
+def _type_of(value: Any) -> str:
+    if isinstance(value, bool):
+        raise ValueError("bool columns are not supported by the CSV loader")
+    if isinstance(value, int):
+        return "int"
+    if isinstance(value, float):
+        return "float"
+    if isinstance(value, datetime.date):
+        return "date"
+    if isinstance(value, str):
+        return "str"
+    raise ValueError(f"unsupported column value type {type(value).__name__}")
+
+
+def save_table(rows: List[Row], path: str) -> None:
+    """Write one table to CSV with a typed header."""
+    if not rows:
+        raise ValueError(f"refusing to save empty table to {path}")
+    columns = list(rows[0].keys())
+    types = [_type_of(rows[0][c]) for c in columns]
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(f"{c}:{t}" for c, t in zip(columns, types))
+        for row in rows:
+            writer.writerow(
+                _SERIALIZERS[t](row[c]) for c, t in zip(columns, types)
+            )
+
+
+def load_table(path: str) -> List[Row]:
+    """Read one table back (types restored from the header)."""
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        header = next(reader)
+        columns, types = zip(*(cell.rsplit(":", 1) for cell in header))
+        for type_name in types:
+            if type_name not in _PARSERS:
+                raise ValueError(f"unknown column type {type_name!r} in {path}")
+        rows: List[Row] = []
+        for record in reader:
+            rows.append(
+                {
+                    c: _PARSERS[t](v)
+                    for c, t, v in zip(columns, types, record)
+                }
+            )
+        return rows
+
+
+def save_tables(tables: Tables, directory: str) -> None:
+    """Write every table of a dataset as ``<directory>/<name>.csv``."""
+    os.makedirs(directory, exist_ok=True)
+    for name, rows in tables.items():
+        save_table(rows, os.path.join(directory, f"{name}.csv"))
+
+
+def load_tables(directory: str) -> Tables:
+    """Load every ``*.csv`` in a directory as a tables dict."""
+    tables: Tables = {}
+    for entry in sorted(os.listdir(directory)):
+        if entry.endswith(".csv"):
+            tables[entry[:-4]] = load_table(os.path.join(directory, entry))
+    if not tables:
+        raise ValueError(f"no .csv tables found in {directory}")
+    return tables

@@ -1,0 +1,16 @@
+"""The paper's seven TPC-H queries (Table II), in three equivalent forms.
+
+Count-type (FLEX-supported): Q1, Q4, Q13, Q16, Q21.
+Arithmetic (UPA-only): Q6, Q11.
+"""
+
+from repro.tpch.queries.base import TPCHQuery
+from repro.tpch.queries.q1 import Q1
+from repro.tpch.queries.q4 import Q4
+from repro.tpch.queries.q6 import Q6
+from repro.tpch.queries.q11 import Q11
+from repro.tpch.queries.q13 import Q13
+from repro.tpch.queries.q16 import Q16
+from repro.tpch.queries.q21 import Q21
+
+__all__ = ["Q1", "Q4", "Q6", "Q11", "Q13", "Q16", "Q21", "TPCHQuery"]

@@ -1,0 +1,165 @@
+"""Shared machinery for the TPC-H query implementations."""
+
+from __future__ import annotations
+
+import datetime
+import random
+from typing import Any, Dict, List
+
+import numpy as np
+
+from repro.core.query import MapReduceQuery, Row, Tables
+from repro.tpch.datagen import NATION_NAMES, PRIORITIES, SHIPMODES
+
+
+class TPCHQuery(MapReduceQuery):
+    """A TPC-H query: MapReduceQuery plus SQL/DataFrame forms.
+
+    Attributes:
+        query_type: 'count' or 'arithmetic' (Table II).
+        flex_supported: whether FLEX's static analysis applies
+            (count-type queries only).
+    """
+
+    query_type: str = "count"
+    flex_supported: bool = True
+    output_dim = 1
+
+    def sql_text(self) -> str:
+        """The query as SQL text for :meth:`repro.sql.SQLSession.sql`."""
+        raise NotImplementedError
+
+    def dataframe(self, session):
+        """The query as a DataFrame plan over the session's catalog."""
+        raise NotImplementedError
+
+    # Count/sum queries share the scalar-sum monoid.
+
+    def zero(self) -> float:
+        return 0.0
+
+    def combine(self, a: float, b: float) -> float:
+        return a + b
+
+    def finalize(self, agg: float, aux: Any) -> np.ndarray:
+        return np.asarray([float(agg)], dtype=float)
+
+
+_MAX_KEY_CACHE: Dict[tuple, int] = {}
+
+
+def max_key(rows: List[Row], column: str, default: int = 0) -> int:
+    """Largest value of an integer key column (for fresh-key sampling).
+
+    Memoized per (table identity, length, column) — domain samplers call
+    this once per sampled record, and the table does not change during
+    a run.
+    """
+    if not rows:
+        return default
+    cache_key = (id(rows), len(rows), column)
+    cached = _MAX_KEY_CACHE.get(cache_key)
+    if cached is None:
+        cached = max(row[column] for row in rows)
+        if len(_MAX_KEY_CACHE) > 4096:
+            _MAX_KEY_CACHE.clear()
+        _MAX_KEY_CACHE[cache_key] = cached
+    return cached
+
+
+def random_lineitem(rng: random.Random, tables: Tables) -> Row:
+    """A plausible new lineitem row (attached to an existing order)."""
+    orders = tables["orders"]
+    order = orders[rng.randrange(len(orders))] if orders else {"o_orderkey": 1}
+    base = order.get("o_orderdate", datetime.date(1995, 6, 1))
+    ship = base + datetime.timedelta(days=rng.randrange(1, 121))
+    quantity = float(rng.randrange(1, 51))
+    n_parts = max_key(tables.get("part", []), "p_partkey", 100)
+    n_suppliers = max_key(tables.get("supplier", []), "s_suppkey", 20)
+    return {
+        "l_orderkey": order["o_orderkey"],
+        "l_linenumber": 999,
+        "l_partkey": 1 + rng.randrange(n_parts),
+        "l_suppkey": 1 + rng.randrange(n_suppliers),
+        "l_quantity": quantity,
+        "l_extendedprice": round(quantity * rng.uniform(900.0, 1100.0), 2),
+        "l_discount": round(rng.randrange(0, 11) / 100.0, 2),
+        "l_tax": round(rng.randrange(0, 9) / 100.0, 2),
+        "l_returnflag": rng.choice(["A", "N", "R"]),
+        "l_linestatus": rng.choice(["F", "O"]),
+        "l_shipdate": ship,
+        "l_commitdate": base + datetime.timedelta(days=rng.randrange(60, 151)),
+        "l_receiptdate": ship + datetime.timedelta(days=rng.randrange(1, 31)),
+        "l_shipmode": rng.choice(SHIPMODES),
+    }
+
+
+def random_order(rng: random.Random, tables: Tables) -> Row:
+    """A new order with a fresh orderkey (so it has no lineitems)."""
+    n_customers = max_key(tables.get("customer", []), "c_custkey", 100)
+    start = datetime.date(1992, 1, 1)
+    special = rng.random() < 0.15
+    return {
+        "o_orderkey": max_key(tables["orders"], "o_orderkey") + 1 + rng.randrange(1000),
+        "o_custkey": 1 + rng.randrange(n_customers),
+        "o_orderstatus": rng.choice(["F", "F", "O", "P"]),
+        "o_orderdate": start + datetime.timedelta(days=rng.randrange(2557)),
+        "o_orderpriority": rng.choice(PRIORITIES),
+        "o_comment": (
+            "was told to expedite the special packages and requests"
+            if special
+            else "ordinary pending packages sleep furiously"
+        ),
+    }
+
+
+def random_customer(rng: random.Random, tables: Tables) -> Row:
+    """A new customer with a fresh custkey (so it has no orders)."""
+    key = max_key(tables["customer"], "c_custkey") + 1 + rng.randrange(1000)
+    return {
+        "c_custkey": key,
+        "c_name": f"Customer#{key:09d}",
+        "c_nationkey": rng.randrange(len(NATION_NAMES)),
+        "c_mktsegment": "BUILDING",
+    }
+
+
+def random_part(rng: random.Random, tables: Tables) -> Row:
+    """A new part with a fresh partkey (so it has no partsupp rows)."""
+    key = max_key(tables["part"], "p_partkey") + 1 + rng.randrange(1000)
+    return {
+        "p_partkey": key,
+        "p_name": f"part {key}",
+        "p_brand": f"Brand#{rng.randrange(1, 6)}{rng.randrange(1, 6)}",
+        "p_type": "STANDARD ANODIZED TIN",
+        "p_size": rng.randrange(1, 51),
+    }
+
+
+def random_partsupp(rng: random.Random, tables: Tables) -> Row:
+    """A new partsupp row over existing part/supplier keys."""
+    n_parts = max_key(tables.get("part", []), "p_partkey", 100)
+    n_suppliers = max_key(tables.get("supplier", []), "s_suppkey", 20)
+    return {
+        "ps_partkey": 1 + rng.randrange(n_parts),
+        "ps_suppkey": 1 + rng.randrange(n_suppliers),
+        "ps_availqty": rng.randrange(1, 10_000),
+        "ps_supplycost": round(rng.uniform(1.0, 1000.0), 2),
+    }
+
+
+def random_supplier(rng: random.Random, tables: Tables) -> Row:
+    """A new supplier with a fresh suppkey (so it has no lineitems)."""
+    key = max_key(tables["supplier"], "s_suppkey") + 1 + rng.randrange(1000)
+    complaint = rng.random() < 0.05
+    return {
+        "s_suppkey": key,
+        "s_name": f"Supplier#{key:09d}",
+        "s_nationkey": rng.randrange(len(NATION_NAMES)),
+        "s_acctbal": round(rng.uniform(-999.99, 9999.99), 2),
+        "s_comment": (
+            "slow delivery: Customer unhappy Complaints pending"
+            if complaint
+            else "dependable deliveries, quiet accounts"
+        ),
+    }

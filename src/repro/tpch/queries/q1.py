@@ -1,0 +1,39 @@
+"""TPC-H Q1 (counting form used by FLEX's evaluation).
+
+``SELECT COUNT(*) FROM lineitem`` — no filter, no join.  The paper uses
+it as the base case: FLEX returns the exact local sensitivity (1) and
+UPA's only error is distribution-fit noise.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.core.query import Row, Tables
+from repro.sql.functions import count_star
+from repro.tpch.queries.base import TPCHQuery, random_lineitem
+
+
+class Q1(TPCHQuery):
+    """Count all lineitems; protected table: lineitem."""
+
+    name = "tpch1"
+    protected_table = "lineitem"
+    query_type = "count"
+    flex_supported = True
+
+    def sql_text(self) -> str:
+        return "SELECT COUNT(*) AS result FROM lineitem"
+
+    def dataframe(self, session):
+        return session.table("lineitem").agg(count_star("result"))
+
+    def build_aux(self, tables: Tables) -> Any:
+        return None
+
+    def map_record(self, record: Row, aux: Any) -> float:
+        return 1.0
+
+    def sample_domain_record(self, rng: random.Random, tables: Tables) -> Row:
+        return random_lineitem(rng, tables)

@@ -1,0 +1,67 @@
+"""TPC-H Q13 (counting form): customer-order join with comment filter.
+
+``COUNT(*)`` over customer joined with orders whose comment does NOT
+match '%special%requests%'.  Protected table: **customer** — removing a
+customer removes all of that customer's matching orders from the join,
+and the generator's Zipf skew over customers makes the influence
+distribution heavy-tailed: exactly the one-to-many case where FLEX
+multiplies worst-case frequencies.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.query import Row, Tables
+from repro.sql.expr import col
+from repro.sql.functions import count_star
+from repro.tpch.queries.base import TPCHQuery, random_customer
+
+_PATTERN = "%special%requests%"
+
+
+@dataclass
+class _Aux:
+    order_counts: Dict[int, int]
+
+
+class Q13(TPCHQuery):
+    """Count (customer, order) join pairs with the comment filter."""
+
+    name = "tpch13"
+    protected_table = "customer"
+    query_type = "count"
+    flex_supported = True
+
+    def sql_text(self) -> str:
+        return (
+            "SELECT COUNT(*) AS result FROM customer, orders "
+            "WHERE c_custkey = o_custkey "
+            f"AND o_comment NOT LIKE '{_PATTERN}'"
+        )
+
+    def dataframe(self, session):
+        orders = session.table("orders").filter(
+            col("o_comment").not_like(_PATTERN)
+        )
+        joined = session.table("customer").join(
+            orders, on=[("c_custkey", "o_custkey")]
+        )
+        return joined.agg(count_star("result"))
+
+    def build_aux(self, tables: Tables) -> _Aux:
+        matcher = col("o_comment").not_like(_PATTERN)
+        counts: Counter = Counter()
+        for order in tables["orders"]:
+            if matcher.eval(order):
+                counts[order["o_custkey"]] += 1
+        return _Aux(dict(counts))
+
+    def map_record(self, record: Row, aux: _Aux) -> float:
+        return float(aux.order_counts.get(record["c_custkey"], 0))
+
+    def sample_domain_record(self, rng: random.Random, tables: Tables) -> Row:
+        return random_customer(rng, tables)

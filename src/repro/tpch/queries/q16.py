@@ -1,0 +1,91 @@
+"""TPC-H Q16 (counting form): part/supplier relationships.
+
+``COUNT(*)`` over part joined with partsupp, with brand/type/size
+filters on part and ``ps_suppkey NOT IN`` the complained-about
+suppliers.  Protected table: **part** — removing a part removes its
+(2-4, skewed) partsupp rows that survive the supplier anti-join.  The
+paper singles out Q16 (with Q21) as where FLEX's error magnifies across
+multiple Filter + Join operators.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.query import Row, Tables
+from repro.sql.expr import col, lit
+from repro.sql.functions import count_star
+from repro.tpch.queries.base import TPCHQuery, random_part
+
+_SIZES = [49, 14, 23, 45, 19, 3, 36, 9]
+_BAD_BRAND = "Brand#45"
+_BAD_TYPE_PREFIX = "MEDIUM POLISHED%"
+_COMPLAINT_PATTERN = "%Customer%Complaints%"
+
+
+@dataclass
+class _Aux:
+    ok_partsupp_counts: Dict[int, int]  # partkey -> rows with ok supplier
+
+
+class Q16(TPCHQuery):
+    """Count filtered (part, partsupp) pairs excluding complaint suppliers."""
+
+    name = "tpch16"
+    protected_table = "part"
+    query_type = "count"
+    flex_supported = True
+
+    def sql_text(self) -> str:
+        sizes = ", ".join(str(s) for s in _SIZES)
+        return (
+            "SELECT COUNT(*) AS result FROM part, partsupp "
+            "WHERE p_partkey = ps_partkey "
+            f"AND p_brand <> '{_BAD_BRAND}' "
+            f"AND p_type NOT LIKE '{_BAD_TYPE_PREFIX}' "
+            f"AND p_size IN ({sizes}) "
+            "AND ps_suppkey NOT IN ("
+            "SELECT s_suppkey FROM supplier "
+            f"WHERE s_comment LIKE '{_COMPLAINT_PATTERN}')"
+        )
+
+    def dataframe(self, session):
+        parts = session.table("part").filter(
+            (col("p_brand") != lit(_BAD_BRAND))
+            & col("p_type").not_like(_BAD_TYPE_PREFIX)
+            & col("p_size").isin(_SIZES)
+        )
+        complainers = session.table("supplier").filter(
+            col("s_comment").like(_COMPLAINT_PATTERN)
+        )
+        partsupp = session.table("partsupp").anti_join(
+            complainers, on=[("ps_suppkey", "s_suppkey")]
+        )
+        joined = parts.join(partsupp, on=[("p_partkey", "ps_partkey")])
+        return joined.agg(count_star("result"))
+
+    def build_aux(self, tables: Tables) -> _Aux:
+        matcher = col("s_comment").like(_COMPLAINT_PATTERN)
+        complainers = {
+            s["s_suppkey"] for s in tables["supplier"] if matcher.eval(s)
+        }
+        counts: Counter = Counter()
+        for ps in tables["partsupp"]:
+            if ps["ps_suppkey"] not in complainers:
+                counts[ps["ps_partkey"]] += 1
+        return _Aux(dict(counts))
+
+    def map_record(self, record: Row, aux: _Aux) -> float:
+        if record["p_brand"] == _BAD_BRAND:
+            return 0.0
+        if record["p_type"].startswith(_BAD_TYPE_PREFIX[:-1]):
+            return 0.0
+        if record["p_size"] not in _SIZES:
+            return 0.0
+        return float(aux.ok_partsupp_counts.get(record["p_partkey"], 0))
+
+    def sample_domain_record(self, rng: random.Random, tables: Tables) -> Row:
+        return random_part(rng, tables)

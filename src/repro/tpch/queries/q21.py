@@ -1,0 +1,127 @@
+"""TPC-H Q21 (counting form): suppliers who kept orders waiting.
+
+Counts (supplier, lineitem l1) pairs where the supplier is in SAUDI
+ARABIA, the order's status is 'F', l1 was received late, *some other*
+supplier contributed to the same order (EXISTS with a ``<>`` residual),
+and *no other* supplier was late on it (NOT EXISTS).  Protected table:
+**supplier** — a supplier's influence is its count of qualifying
+lineitems, extremely skewed by the generator: Q21 is the paper's
+worst-case query (outliers the sampled normal fit misses; FLEX error
+compounds across 5 join-like operators and 3 filters).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, Set
+
+from repro.core.query import Row, Tables
+from repro.sql.expr import col, lit
+from repro.sql.functions import count_star
+from repro.tpch.queries.base import TPCHQuery, random_supplier
+
+_NATION = "SAUDI ARABIA"
+
+
+@dataclass
+class _Aux:
+    qualifying_counts: Dict[int, int]  # suppkey -> qualifying l1 rows
+    nation_names: Dict[int, str]
+
+
+class Q21(TPCHQuery):
+    """Count qualifying (supplier, late lineitem) pairs for one nation."""
+
+    name = "tpch21"
+    protected_table = "supplier"
+    query_type = "count"
+    flex_supported = True
+
+    def sql_text(self) -> str:
+        return (
+            "SELECT COUNT(*) AS result "
+            "FROM supplier, lineitem l1, orders, nation "
+            "WHERE s_suppkey = l1.l_suppkey "
+            "AND o_orderkey = l1.l_orderkey "
+            "AND o_orderstatus = 'F' "
+            "AND l1.l_receiptdate > l1.l_commitdate "
+            "AND s_nationkey = n_nationkey "
+            f"AND n_name = '{_NATION}' "
+            "AND EXISTS (SELECT * FROM lineitem l2 "
+            "WHERE l2.l_orderkey = l1.l_orderkey "
+            "AND l2.l_suppkey <> l1.l_suppkey) "
+            "AND NOT EXISTS (SELECT * FROM lineitem l3 "
+            "WHERE l3.l_orderkey = l1.l_orderkey "
+            "AND l3.l_suppkey <> l1.l_suppkey "
+            "AND l3.l_receiptdate > l3.l_commitdate)"
+        )
+
+    def dataframe(self, session):
+        saudi_nation = session.table("nation").filter(col("n_name") == lit(_NATION))
+        suppliers = session.table("supplier").join(
+            saudi_nation, on=[("s_nationkey", "n_nationkey")]
+        )
+        late_l1 = session.table("lineitem").filter(
+            col("l_receiptdate") > col("l_commitdate")
+        )
+        f_orders = session.table("orders").filter(
+            col("o_orderstatus") == lit("F")
+        ).select("o_orderkey")
+        l1 = late_l1.semi_join(f_orders, on=[("l_orderkey", "o_orderkey")])
+        other_supp = col("__r_l_suppkey") != col("l_suppkey")
+        l1 = l1.semi_join(
+            session.table("lineitem"),
+            on=[("l_orderkey", "l_orderkey")],
+            residual=other_supp,
+        )
+        late_others = (col("__r_l_suppkey") != col("l_suppkey")) & (
+            col("__r_l_receiptdate") > col("__r_l_commitdate")
+        )
+        l1 = l1.anti_join(
+            session.table("lineitem"),
+            on=[("l_orderkey", "l_orderkey")],
+            residual=late_others,
+        )
+        joined = suppliers.join(l1, on=[("s_suppkey", "l_suppkey")])
+        return joined.agg(count_star("result"))
+
+    def build_aux(self, tables: Tables) -> _Aux:
+        f_orders: Set[int] = {
+            o["o_orderkey"]
+            for o in tables["orders"]
+            if o["o_orderstatus"] == "F"
+        }
+        suppkeys_in_order: Dict[int, Set[int]] = defaultdict(set)
+        late_suppkeys_in_order: Dict[int, Set[int]] = defaultdict(set)
+        for item in tables["lineitem"]:
+            orderkey = item["l_orderkey"]
+            suppkeys_in_order[orderkey].add(item["l_suppkey"])
+            if item["l_receiptdate"] > item["l_commitdate"]:
+                late_suppkeys_in_order[orderkey].add(item["l_suppkey"])
+        counts: Counter = Counter()
+        for item in tables["lineitem"]:
+            orderkey = item["l_orderkey"]
+            suppkey = item["l_suppkey"]
+            if orderkey not in f_orders:
+                continue
+            if not item["l_receiptdate"] > item["l_commitdate"]:
+                continue
+            if not suppkeys_in_order[orderkey] - {suppkey}:
+                continue  # no other supplier on the order
+            if late_suppkeys_in_order[orderkey] - {suppkey}:
+                continue  # some other supplier was also late
+            counts[suppkey] += 1
+        nation_names = {
+            n["n_nationkey"]: n["n_name"] for n in tables["nation"]
+        }
+        return _Aux(dict(counts), nation_names)
+
+    def map_record(self, record: Row, aux: _Aux) -> float:
+        if aux.nation_names.get(record["s_nationkey"]) != _NATION:
+            return 0.0
+        return float(aux.qualifying_counts.get(record["s_suppkey"], 0))
+
+    def sample_domain_record(self, rng: random.Random, tables: Tables) -> Row:
+        return random_supplier(rng, tables)

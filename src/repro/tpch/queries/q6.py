@@ -1,0 +1,64 @@
+"""TPC-H Q6: forecast revenue change (arithmetic, UPA-only).
+
+``SUM(l_extendedprice * l_discount)`` over lineitems shipped in 1994
+with discount in [0.03, 0.08] and quantity < 40.  FLEX does not support
+SUM queries (Table II).  A record's influence is its revenue term —
+continuous and wide-ranging, the canonical "arithmetic" case.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from typing import Any
+
+from repro.core.query import Row, Tables
+from repro.sql.expr import col, lit
+from repro.sql.functions import sum_
+from repro.tpch.queries.base import TPCHQuery, random_lineitem
+
+_DATE_LO = datetime.date(1994, 1, 1)
+_DATE_HI = datetime.date(1995, 1, 1)
+
+
+class Q6(TPCHQuery):
+    """Sum of discounted revenue over the filtered lineitems."""
+
+    name = "tpch6"
+    protected_table = "lineitem"
+    query_type = "arithmetic"
+    flex_supported = False
+
+    def sql_text(self) -> str:
+        return (
+            "SELECT SUM(l_extendedprice * l_discount) AS result FROM lineitem "
+            "WHERE l_shipdate >= DATE '1994-01-01' "
+            "AND l_shipdate < DATE '1995-01-01' "
+            "AND l_discount BETWEEN 0.03 AND 0.08 "
+            "AND l_quantity < 40"
+        )
+
+    def dataframe(self, session):
+        filtered = session.table("lineitem").filter(
+            (col("l_shipdate") >= lit(_DATE_LO))
+            & (col("l_shipdate") < lit(_DATE_HI))
+            & col("l_discount").between(0.03, 0.08)
+            & (col("l_quantity") < 40)
+        )
+        return filtered.agg(sum_(col("l_extendedprice") * col("l_discount"),
+                                 "result"))
+
+    def build_aux(self, tables: Tables) -> Any:
+        return None
+
+    def map_record(self, record: Row, aux: Any) -> float:
+        if not _DATE_LO <= record["l_shipdate"] < _DATE_HI:
+            return 0.0
+        if not 0.03 <= record["l_discount"] <= 0.08:
+            return 0.0
+        if not record["l_quantity"] < 40:
+            return 0.0
+        return record["l_extendedprice"] * record["l_discount"]
+
+    def sample_domain_record(self, rng: random.Random, tables: Tables) -> Row:
+        return random_lineitem(rng, tables)

@@ -1,0 +1,96 @@
+"""Schemas for the TPC-H-shaped tables (columns our workloads use)."""
+
+from __future__ import annotations
+
+from repro.sql.types import DATE, FLOAT, INTEGER, STRING, Field, Schema
+
+REGION = Schema(
+    [Field("r_regionkey", INTEGER), Field("r_name", STRING)]
+)
+
+NATION = Schema(
+    [
+        Field("n_nationkey", INTEGER),
+        Field("n_name", STRING),
+        Field("n_regionkey", INTEGER),
+    ]
+)
+
+SUPPLIER = Schema(
+    [
+        Field("s_suppkey", INTEGER),
+        Field("s_name", STRING),
+        Field("s_nationkey", INTEGER),
+        Field("s_acctbal", FLOAT),
+        Field("s_comment", STRING),
+    ]
+)
+
+CUSTOMER = Schema(
+    [
+        Field("c_custkey", INTEGER),
+        Field("c_name", STRING),
+        Field("c_nationkey", INTEGER),
+        Field("c_mktsegment", STRING),
+    ]
+)
+
+PART = Schema(
+    [
+        Field("p_partkey", INTEGER),
+        Field("p_name", STRING),
+        Field("p_brand", STRING),
+        Field("p_type", STRING),
+        Field("p_size", INTEGER),
+    ]
+)
+
+PARTSUPP = Schema(
+    [
+        Field("ps_partkey", INTEGER),
+        Field("ps_suppkey", INTEGER),
+        Field("ps_availqty", INTEGER),
+        Field("ps_supplycost", FLOAT),
+    ]
+)
+
+ORDERS = Schema(
+    [
+        Field("o_orderkey", INTEGER),
+        Field("o_custkey", INTEGER),
+        Field("o_orderstatus", STRING),
+        Field("o_orderdate", DATE),
+        Field("o_orderpriority", STRING),
+        Field("o_comment", STRING),
+    ]
+)
+
+LINEITEM = Schema(
+    [
+        Field("l_orderkey", INTEGER),
+        Field("l_linenumber", INTEGER),
+        Field("l_partkey", INTEGER),
+        Field("l_suppkey", INTEGER),
+        Field("l_quantity", FLOAT),
+        Field("l_extendedprice", FLOAT),
+        Field("l_discount", FLOAT),
+        Field("l_tax", FLOAT),
+        Field("l_returnflag", STRING),
+        Field("l_linestatus", STRING),
+        Field("l_shipdate", DATE),
+        Field("l_commitdate", DATE),
+        Field("l_receiptdate", DATE),
+        Field("l_shipmode", STRING),
+    ]
+)
+
+ALL_SCHEMAS = {
+    "region": REGION,
+    "nation": NATION,
+    "supplier": SUPPLIER,
+    "customer": CUSTOMER,
+    "part": PART,
+    "partsupp": PARTSUPP,
+    "orders": ORDERS,
+    "lineitem": LINEITEM,
+}

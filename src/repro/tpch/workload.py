@@ -1,0 +1,22 @@
+"""Convenience accessors for the seven TPC-H queries."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.tpch.queries import Q1, Q4, Q6, Q11, Q13, Q16, Q21, TPCHQuery
+
+
+def all_queries() -> List[TPCHQuery]:
+    """Instances of all seven TPC-H queries, evaluation order."""
+    return [Q1(), Q4(), Q13(), Q16(), Q21(), Q6(), Q11()]
+
+
+def query_by_name(name: str) -> TPCHQuery:
+    queries: Dict[str, TPCHQuery] = {q.name: q for q in all_queries()}
+    try:
+        return queries[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown TPC-H query {name!r}; available: {sorted(queries)}"
+        ) from None

@@ -1,0 +1,91 @@
+"""Registry of the paper's nine evaluated workloads (Table II).
+
+Each workload pairs a query with the generator of its dataset so
+benchmarks can say "give me all nine at scale S, seed k".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from repro.core.query import MapReduceQuery, Tables
+from repro.mining import (
+    KMeansQuery,
+    LifeScienceConfig,
+    LinearRegressionQuery,
+    make_life_science_tables,
+)
+from repro.tpch import TPCHConfig, TPCHGenerator
+from repro.tpch.workload import all_queries as tpch_queries
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One evaluated query plus its dataset factory.
+
+    Attributes:
+        query: the MapReduceQuery instance.
+        make_tables: (scale_rows, seed) -> tables dict.
+        query_type: 'count' / 'arithmetic' / 'ml' (Table II).
+        flex_supported: whether FLEX's analysis applies.
+    """
+
+    query: MapReduceQuery
+    make_tables: Callable[[int, int], Tables]
+    query_type: str
+    flex_supported: bool
+
+    @property
+    def name(self) -> str:
+        return self.query.name
+
+
+def _tpch_tables(scale_rows: int, seed: int) -> Tables:
+    return TPCHGenerator(TPCHConfig(scale_rows=scale_rows, seed=seed)).generate()
+
+
+def _ml_tables(dim: int, clusters: int):
+    def make(scale_rows: int, seed: int) -> Tables:
+        return make_life_science_tables(
+            LifeScienceConfig(
+                num_records=scale_rows, dim=dim, num_clusters=clusters, seed=seed
+            )
+        )
+
+    return make
+
+
+def all_workloads(ml_dim: int = 4, ml_clusters: int = 3) -> List[Workload]:
+    """The nine workloads in the paper's Table II order."""
+    workloads = [
+        Workload(q, _tpch_tables, q.query_type, q.flex_supported)
+        for q in tpch_queries()
+    ]
+    workloads.append(
+        Workload(
+            KMeansQuery(num_clusters=ml_clusters, dim=ml_dim),
+            _ml_tables(ml_dim, ml_clusters),
+            "ml",
+            False,
+        )
+    )
+    workloads.append(
+        Workload(
+            LinearRegressionQuery(dim=ml_dim),
+            _ml_tables(ml_dim, ml_clusters),
+            "ml",
+            False,
+        )
+    )
+    return workloads
+
+
+def workload_by_name(name: str) -> Workload:
+    registry = {w.name: w for w in all_workloads()}
+    try:
+        return registry[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(registry)}"
+        ) from None

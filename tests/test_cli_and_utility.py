@@ -1,0 +1,109 @@
+"""Tests for the CLI and the utility-analysis module."""
+
+import pytest
+
+from repro.analysis.utility import (
+    UtilityStudy,
+    noise_with_sensitivity,
+    released_error_curve,
+)
+from repro.cli import main
+from repro.tpch import TPCHConfig, TPCHGenerator
+from repro.tpch.workload import query_by_name
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "tpch21" in out and "kmeans" in out
+
+    def test_run(self, capsys):
+        assert main(
+            ["run", "tpch1", "--scale", "2000", "--epsilon", "1.0",
+             "--sample-size", "100"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "released (noisy)" in out
+        assert "2000" in out  # the true count appears
+
+    def test_run_vector_workload(self, capsys):
+        assert main(
+            ["run", "linreg", "--scale", "500", "--sample-size", "50"]
+        ) == 0
+        assert "inferred sensitivity" in capsys.readouterr().out
+
+    def test_run_sql(self, capsys):
+        assert main(
+            ["run-sql", "SELECT COUNT(*) AS n FROM customer",
+             "--protect", "customer", "--scale", "2000"]
+        ) == 0
+        assert "released" in capsys.readouterr().out
+
+    def test_run_sql_unknown_protect(self, capsys):
+        assert main(
+            ["run-sql", "SELECT COUNT(*) AS n FROM nation",
+             "--protect", "nation", "--scale", "2000"]
+        ) == 2
+        assert "no domain sampler" in capsys.readouterr().err
+
+    def test_compare(self, capsys):
+        assert main(["compare", "tpch1", "--scale", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "brute force" in out and "FLEX" in out
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "tpch99"])
+
+
+class TestUtility:
+    @pytest.fixture(scope="class")
+    def tables(self):
+        return TPCHGenerator(TPCHConfig(scale_rows=2000, seed=8)).generate()
+
+    def test_error_decreases_with_epsilon(self, tables):
+        study = released_error_curve(
+            query_by_name("tpch1"), tables,
+            epsilons=(0.01, 10.0), trials=6, sample_size=100,
+        )
+        assert isinstance(study, UtilityStudy)
+        low_eps, high_eps = study.points
+        assert low_eps.mean_absolute_error > high_eps.mean_absolute_error
+
+    def test_relative_error_normalized(self, tables):
+        study = released_error_curve(
+            query_by_name("tpch1"), tables,
+            epsilons=(1.0,), trials=4, sample_size=100,
+        )
+        point = study.points[0]
+        assert point.mean_relative_error == pytest.approx(
+            point.mean_absolute_error / study.truth
+        )
+
+    def test_noise_with_sensitivity_scales(self):
+        small = noise_with_sensitivity(100.0, 1.0, epsilon=1.0, trials=300)
+        large = noise_with_sensitivity(100.0, 1000.0, epsilon=1.0, trials=300)
+        assert large > 100 * small
+
+    def test_flex_sensitivity_would_destroy_utility(self, tables):
+        """The paper's utility argument, end-to-end: noise from FLEX's
+        overestimated Q16 sensitivity swamps the true answer."""
+        from repro.baselines import flex_local_sensitivity
+        from repro.sql import SQLSession
+        from repro.tpch.datagen import register_tables
+
+        query = query_by_name("tpch16")
+        truth = query.output(tables)[0]
+        sql = SQLSession()
+        register_tables(sql, tables)
+        flex_sens = flex_local_sensitivity(
+            query.dataframe(sql).plan, tables
+        ).sensitivity
+        flex_error = noise_with_sensitivity(
+            truth, flex_sens, epsilon=0.1, trials=200
+        )
+        upa_error = noise_with_sensitivity(
+            truth, 4.0, epsilon=0.1, trials=200
+        )
+        assert flex_error > 5 * upa_error

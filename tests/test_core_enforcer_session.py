@@ -1,0 +1,254 @@
+"""Tests for RANGE ENFORCER (Algorithm 2) and the end-to-end UPASession."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.common.errors import DPError, PrivacyBudgetExceeded
+from repro.core import UPAConfig, UPASession
+from repro.core.inference import InferenceConfig, infer_output_range
+from repro.core.query import MapReduceQuery
+from repro.core.range_enforcer import RangeEnforcer
+from repro.dp.budget import PrivacyAccountant
+from repro.engine.metrics import MetricsRegistry
+from repro.tpch import TPCHConfig, TPCHGenerator
+from repro.tpch.workload import query_by_name
+
+
+class _FakeRuntime:
+    """Scriptable EnforcerRuntime for unit tests."""
+
+    def __init__(self, partition_outputs, final, removable=10):
+        self._outputs = [np.asarray(p, dtype=float) for p in partition_outputs]
+        self._final = np.asarray(final, dtype=float)
+        self._removable = removable
+        self.removals = 0
+
+    def partition_outputs(self):
+        return (self._outputs[0], self._outputs[1])
+
+    def final_output(self):
+        return self._final
+
+    def remove_two_records(self):
+        if self._removable < 2:
+            return False
+        self._removable -= 2
+        self.removals += 2
+        # removing records perturbs both partitions' outputs
+        self._outputs = [o - 1.0 for o in self._outputs]
+        self._final = self._final - 2.0
+        return True
+
+
+def _range(lo, hi):
+    return infer_output_range(np.array([[lo], [hi]] * 10), 100)
+
+
+class TestRangeEnforcer:
+    def test_first_submission_registers(self):
+        enforcer = RangeEnforcer()
+        runtime = _FakeRuntime([[5.0], [7.0]], [12.0])
+        result = enforcer.enforce(runtime, _range(0.0, 20.0))
+        assert not result.matched_prior
+        assert result.records_removed == 0
+        assert len(enforcer) == 1
+
+    def test_distinct_queries_do_not_trigger_removal(self):
+        enforcer = RangeEnforcer()
+        enforcer.enforce(_FakeRuntime([[5.0], [7.0]], [12.0]), _range(0, 20))
+        result = enforcer.enforce(
+            _FakeRuntime([[50.0], [70.0]], [120.0]), _range(0, 200)
+        )
+        assert not result.matched_prior
+
+    def test_neighbouring_submission_forces_removals(self):
+        enforcer = RangeEnforcer()
+        enforcer.enforce(_FakeRuntime([[5.0], [7.0]], [12.0]), _range(0, 20))
+        # same first partition output -> looks like a neighbouring dataset
+        runtime = _FakeRuntime([[5.0], [8.0]], [13.0])
+        result = enforcer.enforce(runtime, _range(0, 20))
+        assert result.matched_prior
+        assert result.records_removed >= 2
+
+    def test_identical_submission_forces_removals(self):
+        enforcer = RangeEnforcer()
+        enforcer.enforce(_FakeRuntime([[5.0], [7.0]], [12.0]), _range(0, 20))
+        result = enforcer.enforce(
+            _FakeRuntime([[5.0], [7.0]], [12.0]), _range(0, 20)
+        )
+        assert result.matched_prior
+
+    def test_exhausted_removals_raise(self):
+        enforcer = RangeEnforcer()
+        enforcer.enforce(_FakeRuntime([[5.0], [7.0]], [12.0]), _range(0, 20))
+        runtime = _FakeRuntime([[5.0], [7.0]], [12.0], removable=0)
+        with pytest.raises(DPError):
+            enforcer.enforce(runtime, _range(0, 20))
+
+    def test_out_of_range_output_replaced_with_in_range(self):
+        enforcer = RangeEnforcer(rng=random.Random(0))
+        runtime = _FakeRuntime([[5.0], [7.0]], [999.0])
+        inferred = _range(0.0, 20.0)
+        result = enforcer.enforce(runtime, inferred)
+        assert result.clamped
+        assert inferred.contains(result.output)
+
+    def test_in_range_output_untouched(self):
+        enforcer = RangeEnforcer()
+        result = enforcer.enforce(
+            _FakeRuntime([[5.0], [7.0]], [12.0]), _range(0, 20)
+        )
+        assert not result.clamped
+        assert result.output[0] == 12.0
+
+    def test_reset(self):
+        enforcer = RangeEnforcer()
+        enforcer.enforce(_FakeRuntime([[1.0], [2.0]], [3.0]), _range(0, 5))
+        enforcer.reset()
+        assert len(enforcer) == 0
+
+
+@pytest.fixture(scope="module")
+def small_tables():
+    return TPCHGenerator(TPCHConfig(scale_rows=3000, seed=13)).generate()
+
+
+class TestUPASession:
+    def test_plain_output_matches_reference(self, small_tables):
+        query = query_by_name("tpch6")
+        session = UPASession(UPAConfig(sample_size=200, seed=0))
+        result = session.run(query, small_tables)
+        assert result.plain_output[0] == pytest.approx(
+            query.output(small_tables)[0]
+        )
+
+    def test_vanilla_matches_reference(self, small_tables):
+        query = query_by_name("tpch6")
+        session = UPASession()
+        output, elapsed = session.run_vanilla(query, small_tables)
+        assert output[0] == pytest.approx(query.output(small_tables)[0])
+        assert elapsed >= 0
+
+    def test_reuse_and_naive_agree(self, small_tables):
+        query = query_by_name("tpch6")
+        fast = UPASession(
+            UPAConfig(sample_size=50, seed=4, reuse_intermediate=True)
+        ).run(query, small_tables)
+        slow = UPASession(
+            UPAConfig(sample_size=50, seed=4, reuse_intermediate=False)
+        ).run(query, small_tables)
+        assert np.allclose(fast.removal_outputs, slow.removal_outputs)
+        assert fast.local_sensitivity == pytest.approx(slow.local_sensitivity)
+
+    def test_removal_outputs_match_bruteforce_subset(self, small_tables):
+        """Every sampled removal output equals f(x - s_i) exactly."""
+        query = query_by_name("tpch1")
+        session = UPASession(UPAConfig(sample_size=100, seed=7))
+        result = session.run(query, small_tables)
+        expected = len(small_tables["lineitem"]) - 1
+        assert np.all(result.removal_outputs == expected)
+
+    def test_noise_changes_with_seed(self, small_tables):
+        query = query_by_name("tpch1")
+        a = UPASession(UPAConfig(sample_size=50, seed=1)).run(query, small_tables)
+        b = UPASession(UPAConfig(sample_size=50, seed=2)).run(query, small_tables)
+        assert a.noisy_scalar() != b.noisy_scalar()
+
+    def test_same_seed_reproducible(self, small_tables):
+        query = query_by_name("tpch1")
+        a = UPASession(UPAConfig(sample_size=50, seed=5)).run(query, small_tables)
+        b = UPASession(UPAConfig(sample_size=50, seed=5)).run(query, small_tables)
+        assert a.noisy_scalar() == b.noisy_scalar()
+
+    def test_epsilon_must_be_positive(self, small_tables):
+        session = UPASession()
+        with pytest.raises(DPError):
+            session.run(query_by_name("tpch1"), small_tables, epsilon=0.0)
+
+    def test_budget_accounting(self, small_tables):
+        accountant = PrivacyAccountant(total_epsilon=0.15)
+        session = UPASession(
+            UPAConfig(sample_size=50, seed=0), accountant=accountant
+        )
+        session.run(query_by_name("tpch1"), small_tables, epsilon=0.1)
+        with pytest.raises(PrivacyBudgetExceeded):
+            session.run(query_by_name("tpch1"), small_tables, epsilon=0.1)
+
+    def test_smaller_epsilon_noisier(self, small_tables):
+        query = query_by_name("tpch6")
+        spreads = {}
+        for epsilon in (10.0, 0.01):
+            outs = []
+            for seed in range(8):
+                session = UPASession(UPAConfig(sample_size=50, seed=seed))
+                outs.append(
+                    session.run(query, small_tables, epsilon=epsilon)
+                    .noisy_scalar()
+                )
+            spreads[epsilon] = np.std(outs)
+        assert spreads[0.01] > 10 * spreads[10.0]
+
+    def test_repeated_query_detected_as_attack(self, small_tables):
+        """The paper's threat scenario: same query, neighbouring input."""
+        query = query_by_name("tpch1")
+        session = UPASession(UPAConfig(sample_size=60, seed=3))
+        first = session.run(query, small_tables, epsilon=0.5)
+        assert not first.enforcement.matched_prior
+
+        neighbour_tables = dict(small_tables)
+        neighbour_tables["lineitem"] = small_tables["lineitem"][:-1]
+        second = session.run(query, neighbour_tables, epsilon=0.5)
+        assert second.enforcement.matched_prior
+        assert second.enforcement.records_removed >= 2
+
+    def test_enforced_output_always_in_range(self, small_tables):
+        query = query_by_name("tpch13")
+        session = UPASession(UPAConfig(sample_size=100, seed=1))
+        result = session.run(query, small_tables)
+        assert result.inferred_range.contains(result.raw_output)
+
+    def test_metrics_capture_shuffle_free_run(self, small_tables):
+        query = query_by_name("tpch1")
+        session = UPASession(UPAConfig(sample_size=50, seed=2))
+        result = session.run(query, small_tables)
+        assert result.metrics.get(MetricsRegistry.JOBS) > 0
+
+    def test_validate_queries_flag(self, small_tables):
+        session = UPASession(
+            UPAConfig(sample_size=30, seed=0, validate_queries=True)
+        )
+        result = session.run(query_by_name("tpch4"), small_tables)
+        assert result.sample_size == 30
+
+    def test_vector_query_end_to_end(self, ml_tables):
+        from repro.mining import LinearRegressionQuery
+
+        query = LinearRegressionQuery(dim=3)
+        session = UPASession(UPAConfig(sample_size=80, seed=6))
+        result = session.run(query, ml_tables, epsilon=1.0)
+        assert result.noisy_output.shape == (4,)
+        assert result.local_sensitivity > 0
+
+    def test_infer_sensitivity_no_budget_no_registration(self, small_tables):
+        accountant = PrivacyAccountant(total_epsilon=0.1)
+        session = UPASession(
+            UPAConfig(sample_size=40, seed=0), accountant=accountant
+        )
+        session.infer_sensitivity(query_by_name("tpch1"), small_tables)
+        assert accountant.remaining_epsilon() == pytest.approx(0.1)
+        assert len(session.enforcer) == 0
+
+    def test_estimated_ls_close_to_truth_for_count(self, small_tables):
+        from repro.baselines import exact_local_sensitivity
+
+        query = query_by_name("tpch1")
+        session = UPASession(UPAConfig(sample_size=100, seed=0))
+        result = session.run(query, small_tables)
+        truth = exact_local_sensitivity(
+            query, small_tables, addition_samples=100
+        )
+        assert result.estimated_local_sensitivity == pytest.approx(
+            truth.local_sensitivity
+        )

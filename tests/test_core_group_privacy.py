@@ -1,0 +1,105 @@
+"""Tests for the group-privacy extension (paper section VI-E)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import DPError
+from repro.core.group_privacy import (
+    group_epsilon_from_individual,
+    run_group_private_query,
+    sample_group_neighbour_outputs,
+)
+from repro.tpch import TPCHConfig, TPCHGenerator
+from repro.tpch.workload import query_by_name
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return TPCHGenerator(TPCHConfig(scale_rows=2000, seed=21)).generate()
+
+
+class TestGroupNeighbourSampling:
+    def test_count_query_group_removal_exact(self, tables):
+        query = query_by_name("tpch1")
+        total = len(tables["lineitem"])
+        for k in (1, 3, 10):
+            outputs = sample_group_neighbour_outputs(
+                query, tables, group_size=k, num_groups=50,
+                sample_size=200, seed=0,
+            )
+            assert np.all(outputs == total - k), k
+
+    def test_shape(self, tables):
+        outputs = sample_group_neighbour_outputs(
+            query_by_name("tpch6"), tables, group_size=2, num_groups=37,
+            sample_size=100,
+        )
+        assert outputs.shape == (37, 1)
+
+    def test_invalid_group_size(self, tables):
+        query = query_by_name("tpch1")
+        with pytest.raises(DPError):
+            sample_group_neighbour_outputs(query, tables, group_size=0)
+        with pytest.raises(DPError):
+            sample_group_neighbour_outputs(
+                query, tables, group_size=300, sample_size=100
+            )
+
+
+class TestGroupPrivateQueries:
+    def test_count_sensitivity_scales_with_k(self, tables):
+        query = query_by_name("tpch1")
+        results = {
+            k: run_group_private_query(
+                query, tables, epsilon=1.0, group_size=k,
+                num_groups=100, sample_size=200, seed=1,
+            )
+            for k in (1, 5)
+        }
+        # counting query: removing k records changes the count by exactly k
+        assert results[1].group_sensitivity == pytest.approx(1.0)
+        assert results[5].group_sensitivity == pytest.approx(5.0)
+
+    def test_group_sensitivity_monotone_in_k(self, tables):
+        query = query_by_name("tpch6")
+        small = run_group_private_query(
+            query, tables, 1.0, group_size=1, num_groups=150,
+            sample_size=300, seed=2,
+        )
+        large = run_group_private_query(
+            query, tables, 1.0, group_size=8, num_groups=150,
+            sample_size=300, seed=2,
+        )
+        assert large.group_sensitivity >= small.group_sensitivity
+
+    def test_sampled_group_range_at_most_naive_bound(self, tables):
+        """Sampled group sensitivity should not exceed k * individual
+        (influences of a sampled group add at most linearly)."""
+        query = query_by_name("tpch6")
+        result = run_group_private_query(
+            query, tables, 1.0, group_size=4, num_groups=200,
+            sample_size=300, seed=3,
+        )
+        assert result.group_sensitivity <= result.naive_sensitivity * 1.5
+
+    def test_release_in_range(self, tables):
+        query = query_by_name("tpch13")
+        result = run_group_private_query(
+            query, tables, epsilon=5.0, group_size=2, num_groups=100,
+            sample_size=200, seed=4,
+        )
+        assert result.inferred_range.contains(
+            result.inferred_range.clamp(result.plain_output)
+        )
+        assert result.noisy_output.shape == (1,)
+
+    def test_epsilon_validation(self, tables):
+        with pytest.raises(DPError):
+            run_group_private_query(
+                query_by_name("tpch1"), tables, epsilon=0.0, group_size=2
+            )
+
+    def test_composition_helper(self):
+        assert group_epsilon_from_individual(0.1, 5) == pytest.approx(0.5)
+        with pytest.raises(DPError):
+            group_epsilon_from_individual(0.1, 0)

@@ -1,0 +1,228 @@
+"""Tests for Partition & Sample and for sensitivity inference."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.common.errors import DPError
+from repro.core.inference import (
+    InferenceConfig,
+    infer_local_sensitivity,
+    infer_output_range,
+)
+from repro.core.query import MapReduceQuery
+from repro.core.sampling import (
+    partition_and_sample,
+    partition_of,
+    record_fingerprint,
+)
+
+
+class _IdentityQuery(MapReduceQuery):
+    name = "identity"
+    protected_table = "vals"
+    output_dim = 1
+
+    def map_record(self, record, aux):
+        return float(record["v"])
+
+    def zero(self):
+        return 0.0
+
+    def combine(self, a, b):
+        return a + b
+
+    def finalize(self, agg, aux):
+        return np.asarray([agg])
+
+    def sample_domain_record(self, rng, tables):
+        return {"v": float(rng.randrange(10_000, 20_000))}
+
+
+def _tables(n=500):
+    return {"vals": [{"v": float(i)} for i in range(n)]}
+
+
+class TestPartitionAndSample:
+    def test_partitions_cover_dataset(self):
+        tables = _tables()
+        sample = partition_and_sample(
+            _IdentityQuery(), tables, 50, random.Random(0)
+        )
+        merged = sample.partitions[0] + sample.partitions[1]
+        assert sorted(r["v"] for r in merged) == sorted(
+            r["v"] for r in tables["vals"]
+        )
+
+    def test_partition_is_stable_per_record(self):
+        record = {"v": 3.0}
+        assert partition_of(record) == partition_of(dict(record))
+
+    def test_fingerprint_order_insensitive(self):
+        a = {"x": 1, "y": "s"}
+        b = {"y": "s", "x": 1}
+        assert record_fingerprint(a) == record_fingerprint(b)
+
+    def test_sample_size_respected(self):
+        sample = partition_and_sample(
+            _IdentityQuery(), _tables(), 64, random.Random(1)
+        )
+        assert sample.sample_size == 64
+        assert len(sample.domain_samples) == 64
+
+    def test_small_dataset_fully_sampled(self):
+        sample = partition_and_sample(
+            _IdentityQuery(), _tables(10), 1000, random.Random(1)
+        )
+        assert sample.sample_size == 10
+        assert sample.remaining == ([], [])
+
+    def test_sampled_plus_remaining_is_everything(self):
+        tables = _tables(200)
+        sample = partition_and_sample(
+            _IdentityQuery(), tables, 30, random.Random(5)
+        )
+        reunion = sorted(
+            r["v"]
+            for r in sample.sampled
+            + sample.remaining[0]
+            + sample.remaining[1]
+        )
+        assert reunion == [float(i) for i in range(200)]
+
+    def test_sampled_partitions_consistent(self):
+        sample = partition_and_sample(
+            _IdentityQuery(), _tables(100), 20, random.Random(2)
+        )
+        for record, pid in zip(sample.sampled, sample.sampled_partitions):
+            assert partition_of(record) == pid
+
+    def test_empty_table_raises(self):
+        with pytest.raises(DPError):
+            partition_and_sample(
+                _IdentityQuery(), {"vals": []}, 10, random.Random(0)
+            )
+
+    def test_deterministic_given_rng(self):
+        a = partition_and_sample(
+            _IdentityQuery(), _tables(), 20, random.Random(9)
+        )
+        b = partition_and_sample(
+            _IdentityQuery(), _tables(), 20, random.Random(9)
+        )
+        assert a.sampled == b.sampled
+        assert a.domain_samples == b.domain_samples
+
+    def test_partitions_roughly_balanced(self):
+        sample = partition_and_sample(
+            _IdentityQuery(), _tables(2000), 10, random.Random(3)
+        )
+        sizes = [len(p) for p in sample.partitions]
+        assert min(sizes) > 0.35 * sum(sizes)
+
+
+class TestRangeInference:
+    def test_normal_fit_brackets_gaussian_data(self):
+        rng = np.random.default_rng(0)
+        outputs = rng.normal(100.0, 5.0, size=(1000, 1))
+        inferred = infer_output_range(outputs, population=1000)
+        assert inferred.lower[0] < 85 < 115 < inferred.upper[0]
+
+    def test_discrete_fallback_exact_for_counts(self):
+        outputs = np.array([[9.0], [11.0]] * 500)
+        inferred = infer_output_range(outputs, population=100_000)
+        assert inferred.lower[0] == 9.0
+        assert inferred.upper[0] == 11.0
+        assert inferred.used_fallback[0]
+        assert inferred.local_sensitivity == 2.0
+
+    def test_fallback_disabled_uses_normal(self):
+        outputs = np.array([[9.0], [11.0]] * 500)
+        config = InferenceConfig(discrete_fallback=False, envelope=False)
+        inferred = infer_output_range(outputs, 100_000, config)
+        assert inferred.upper[0] > 11.0  # normal tail extends past samples
+
+    def test_extrapolation_widens_with_population(self):
+        rng = np.random.default_rng(1)
+        outputs = rng.normal(0.0, 1.0, size=(500, 1))
+        config = InferenceConfig(envelope=False)
+        small = infer_output_range(outputs, 1_000, config)
+        large = infer_output_range(outputs, 1_000_000, config)
+        assert large.local_sensitivity > small.local_sensitivity
+
+    def test_paper_percentiles_without_extrapolation(self):
+        rng = np.random.default_rng(2)
+        outputs = rng.normal(0.0, 1.0, size=(5000, 1))
+        config = InferenceConfig(
+            extrapolate=False, envelope=False, discrete_fallback=False
+        )
+        inferred = infer_output_range(outputs, 10**6, config)
+        # 1st..99th percentile of a standard normal ~ +-2.326.
+        assert inferred.local_sensitivity == pytest.approx(4.65, rel=0.1)
+
+    def test_multidimensional_ranges(self):
+        rng = np.random.default_rng(3)
+        outputs = np.column_stack(
+            [rng.normal(0, 1, 800), rng.normal(50, 10, 800)]
+        )
+        inferred = infer_output_range(outputs, 800)
+        assert inferred.lower.shape == (2,)
+        assert inferred.upper[1] > inferred.upper[0]
+
+    def test_clamp(self):
+        outputs = np.array([[0.0], [10.0]] * 50)
+        inferred = infer_output_range(outputs, 100)
+        assert inferred.clamp(np.array([99.0]))[0] == inferred.upper[0]
+        assert inferred.clamp(np.array([-99.0]))[0] == inferred.lower[0]
+
+    def test_contains_and_coverage(self):
+        outputs = np.array([[0.0], [10.0]] * 50)
+        inferred = infer_output_range(outputs, 100)
+        assert inferred.contains(np.array([5.0]))
+        assert not inferred.contains(np.array([50.0]))
+        cover = inferred.coverage(np.array([[5.0], [50.0]]))
+        assert cover == 0.5
+
+    def test_max_deviation(self):
+        outputs = np.array([[0.0], [10.0]] * 50)
+        inferred = infer_output_range(outputs, 100)
+        assert inferred.max_deviation(np.array([10.0])) == pytest.approx(10.0)
+        assert inferred.max_deviation(np.array([5.0])) == pytest.approx(5.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(DPError):
+            infer_output_range(np.empty((0, 1)), 100)
+
+    def test_invalid_percentiles(self):
+        with pytest.raises(DPError):
+            InferenceConfig(percentile_low=60.0, percentile_high=40.0)
+
+
+class TestSensitivityEstimator:
+    def test_discrete_deltas_exact(self):
+        outputs = np.array([[99.0]] * 500 + [[101.0]] * 500)
+        est = infer_local_sensitivity(outputs, np.array([100.0]), 10_000)
+        assert est == 1.0
+
+    def test_normal_deltas_extrapolate(self):
+        rng = np.random.default_rng(4)
+        center = np.array([0.0])
+        outputs = rng.normal(0, 1, size=(1000, 1))
+        est = infer_local_sensitivity(outputs, center, 100_000)
+        # expected max |delta| of 100k half-normal draws ~ 4.5
+        assert 3.0 < est < 7.0
+
+    def test_envelope_never_below_sampled_max(self):
+        outputs = np.array([[0.0]] * 999 + [[1000.0]])
+        est = infer_local_sensitivity(
+            outputs, np.array([0.0]), 10_000,
+            InferenceConfig(discrete_fallback=False),
+        )
+        assert est >= 1000.0
+
+    def test_vector_deltas_use_l1(self):
+        center = np.zeros(2)
+        outputs = np.array([[3.0, 4.0]] * 20)
+        est = infer_local_sensitivity(outputs, center, 100)
+        assert est == pytest.approx(7.0)

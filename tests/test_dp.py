@@ -1,0 +1,162 @@
+"""Tests for DP foundations: mechanisms, budget accounting, sensitivity."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.common.errors import DPError, PrivacyBudgetExceeded
+from repro.dp import (
+    GaussianMechanism,
+    LaplaceMechanism,
+    PrivacyAccountant,
+    SensitivityEstimate,
+    laplace_noise,
+)
+from repro.dp.sensitivity import l1_range_width, smooth_sensitivity
+
+
+class TestLaplace:
+    def test_scale(self):
+        assert LaplaceMechanism(0.5).scale(2.0) == 4.0
+
+    def test_zero_sensitivity_adds_no_noise(self):
+        mech = LaplaceMechanism(1.0, seed=1)
+        assert mech.randomize(5.0, 0.0) == 5.0
+
+    def test_deterministic_with_seed(self):
+        a = LaplaceMechanism(1.0, seed=42).randomize(0.0, 1.0)
+        b = LaplaceMechanism(1.0, seed=42).randomize(0.0, 1.0)
+        assert a == b
+
+    def test_noise_magnitude_statistics(self):
+        mech = LaplaceMechanism(1.0, seed=0)
+        draws = np.array([mech.randomize(0.0, 1.0) for _ in range(4000)])
+        # Laplace(0, 1): mean 0, variance 2.
+        assert abs(draws.mean()) < 0.1
+        assert abs(draws.var() - 2.0) < 0.3
+
+    def test_vector_output(self):
+        mech = LaplaceMechanism(1.0, seed=3)
+        out = mech.randomize(np.zeros(5), 1.0)
+        assert out.shape == (5,)
+        assert not np.allclose(out, 0.0)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(DPError):
+            LaplaceMechanism(0.0)
+
+    def test_negative_sensitivity(self):
+        with pytest.raises(DPError):
+            LaplaceMechanism(1.0).randomize(0.0, -1.0)
+
+    def test_laplace_noise_validation(self):
+        with pytest.raises(DPError):
+            laplace_noise(-1.0)
+
+    def test_smaller_epsilon_means_more_noise(self):
+        tight = LaplaceMechanism(10.0, seed=5)
+        loose = LaplaceMechanism(0.01, seed=5)
+        tight_spread = np.std(
+            [tight.randomize(0.0, 1.0) for _ in range(500)]
+        )
+        loose_spread = np.std(
+            [loose.randomize(0.0, 1.0) for _ in range(500)]
+        )
+        assert loose_spread > 50 * tight_spread
+
+
+class TestGaussian:
+    def test_sigma_formula(self):
+        mech = GaussianMechanism(0.5, 1e-5)
+        expected = 1.0 * math.sqrt(2 * math.log(1.25 / 1e-5)) / 0.5
+        assert mech.sigma(1.0) == pytest.approx(expected)
+
+    def test_epsilon_range_enforced(self):
+        with pytest.raises(DPError):
+            GaussianMechanism(1.5, 1e-5)
+        with pytest.raises(DPError):
+            GaussianMechanism(0.5, 0.0)
+
+    def test_vector_randomize(self):
+        mech = GaussianMechanism(0.5, 1e-5, seed=1)
+        out = mech.randomize(np.ones(3), 1.0)
+        assert out.shape == (3,)
+
+    def test_scalar_randomize_deterministic(self):
+        a = GaussianMechanism(0.5, 1e-5, seed=9).randomize(1.0, 1.0)
+        b = GaussianMechanism(0.5, 1e-5, seed=9).randomize(1.0, 1.0)
+        assert a == b
+
+
+class TestAccountant:
+    def test_charges_accumulate(self):
+        acct = PrivacyAccountant(total_epsilon=1.0)
+        acct.charge(0.3, label="q1")
+        acct.charge(0.3, label="q2")
+        assert acct.remaining_epsilon() == pytest.approx(0.4)
+        assert [h[2] for h in acct.history()] == ["q1", "q2"]
+
+    def test_exceeding_budget_raises(self):
+        acct = PrivacyAccountant(total_epsilon=0.5)
+        acct.charge(0.4)
+        with pytest.raises(PrivacyBudgetExceeded):
+            acct.charge(0.2)
+
+    def test_rejected_charge_not_recorded(self):
+        acct = PrivacyAccountant(total_epsilon=0.5)
+        acct.charge(0.4)
+        try:
+            acct.charge(0.2)
+        except PrivacyBudgetExceeded:
+            pass
+        assert acct.remaining_epsilon() == pytest.approx(0.1)
+
+    def test_delta_budget(self):
+        acct = PrivacyAccountant(total_epsilon=10.0, total_delta=1e-5)
+        acct.charge(1.0, delta=5e-6)
+        with pytest.raises(PrivacyBudgetExceeded):
+            acct.charge(1.0, delta=6e-6)
+
+    def test_invalid_budgets(self):
+        with pytest.raises(DPError):
+            PrivacyAccountant(total_epsilon=0.0)
+        with pytest.raises(DPError):
+            PrivacyAccountant(1.0, total_delta=-1.0)
+
+    def test_invalid_charges(self):
+        acct = PrivacyAccountant(1.0)
+        with pytest.raises(DPError):
+            acct.charge(0.0)
+        with pytest.raises(DPError):
+            acct.charge(0.1, delta=-1e-9)
+
+
+class TestSensitivityHelpers:
+    def test_estimate_validation(self):
+        with pytest.raises(ValueError):
+            SensitivityEstimate(-1.0)
+        with pytest.raises(ValueError):
+            SensitivityEstimate(1.0, kind="weird")
+
+    def test_estimate_fields(self):
+        est = SensitivityEstimate(2.0, kind="local", method="upa")
+        assert est.value == 2.0
+
+    def test_smooth_sensitivity(self):
+        # LS_k constant: smoothing picks k=0.
+        assert smooth_sensitivity([5, 5, 5], beta=0.1) == 5.0
+        # rapidly growing LS_k can dominate despite decay
+        grown = smooth_sensitivity([1.0, 100.0], beta=0.1)
+        assert grown == pytest.approx(math.exp(-0.1) * 100.0)
+
+    def test_smooth_sensitivity_negative_beta(self):
+        with pytest.raises(ValueError):
+            smooth_sensitivity([1.0], beta=-1.0)
+
+    def test_l1_range_width(self):
+        assert l1_range_width([0, 0], [1, 3]) == 4.0
+        with pytest.raises(ValueError):
+            l1_range_width([1], [0])
+        with pytest.raises(ValueError):
+            l1_range_width([0, 0], [1])

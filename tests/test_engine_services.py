@@ -1,0 +1,222 @@
+"""Tests for engine services: storage, broadcast, accumulators,
+partitioners, metrics, fault injection + lineage recovery."""
+
+import pytest
+
+from repro.common.config import EngineConfig
+from repro.common.errors import TaskFailedError
+from repro.engine import EngineContext, FaultInjector
+from repro.engine.accumulator import int_accumulator
+from repro.engine.metrics import MetricsRegistry, MetricsSnapshot
+from repro.engine.partitioner import HashPartitioner, RangePartitioner, _portable_hash
+from repro.engine.storage import BlockStore
+
+
+class TestBlockStoreAndCaching:
+    def test_cache_serves_second_read(self, ctx):
+        rdd = ctx.parallelize(range(10), 2).map(lambda v: v + 1).cache()
+        rdd.collect()
+        hits_before = ctx.metrics.get(MetricsRegistry.CACHE_HITS)
+        rdd.collect()
+        assert ctx.metrics.get(MetricsRegistry.CACHE_HITS) >= hits_before + 2
+
+    def test_unpersist_drops_blocks(self, ctx):
+        rdd = ctx.parallelize(range(4), 2).cache()
+        rdd.collect()
+        assert len(ctx.block_store) == 2
+        rdd.unpersist()
+        assert len(ctx.block_store) == 0
+
+    def test_cached_result_identical(self, ctx):
+        rdd = ctx.parallelize(range(100), 4).map(lambda v: v * 3).cache()
+        assert rdd.collect() == rdd.collect()
+
+    def test_lru_eviction(self):
+        store = BlockStore(capacity_blocks=2, metrics=MetricsRegistry())
+        store.put((1, 0), [1])
+        store.put((1, 1), [2])
+        store.get((1, 0))  # refresh block (1,0)
+        store.put((1, 2), [3])  # evicts LRU block (1,1)
+        assert store.contains((1, 0))
+        assert not store.contains((1, 1))
+        assert store.contains((1, 2))
+
+    def test_dropped_block_recomputed_from_lineage(self, ctx):
+        rdd = ctx.parallelize(range(10), 2).map(lambda v: v * v).cache()
+        expected = rdd.collect()
+        assert ctx.block_store.drop((rdd.rdd_id, 0))
+        assert rdd.collect() == expected
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BlockStore(0, MetricsRegistry())
+
+    def test_evict_rdd_counts(self):
+        store = BlockStore(10, MetricsRegistry())
+        store.put((5, 0), [])
+        store.put((5, 1), [])
+        store.put((6, 0), [])
+        assert store.evict_rdd(5) == 2
+        assert store.contains((6, 0))
+
+
+class TestBroadcastAndAccumulators:
+    def test_broadcast_value_visible_in_tasks(self, ctx):
+        lookup = ctx.broadcast({1: "one", 2: "two"})
+        out = ctx.parallelize([1, 2, 1]).map(lambda v: lookup.value[v]).collect()
+        assert out == ["one", "two", "one"]
+
+    def test_broadcast_destroy(self, ctx):
+        b = ctx.broadcast([1, 2, 3])
+        b.destroy()
+        with pytest.raises(RuntimeError):
+            _ = b.value
+
+    def test_broadcast_metrics(self, ctx):
+        before = ctx.metrics.get(MetricsRegistry.BROADCAST_RECORDS)
+        ctx.broadcast(list(range(50)))
+        assert ctx.metrics.get(MetricsRegistry.BROADCAST_RECORDS) == before + 50
+
+    def test_int_accumulator(self):
+        acc = int_accumulator(5)
+        acc.add(3)
+        acc.add(2)
+        assert acc.value == 10
+
+    def test_accumulator_custom_combine(self, ctx):
+        acc = ctx.accumulator([], lambda a, b: a + b)
+        ctx.parallelize([[1], [2]], 2).foreach(acc.add)
+        assert sorted(acc.value) == [1, 2]
+
+
+class TestPartitioners:
+    def test_hash_partitioner_stable(self):
+        p = HashPartitioner(8)
+        assert p.partition("hello") == p.partition("hello")
+        assert p.partition(("a", 1)) == p.partition(("a", 1))
+
+    def test_hash_partitioner_range(self):
+        p = HashPartitioner(4)
+        for key in ["x", 0, 3.5, None, ("t", 2), True]:
+            assert 0 <= p.partition(key) < 4
+
+    def test_int_float_hash_consistent(self):
+        # 2 and 2.0 are equal keys and must co-locate.
+        assert _portable_hash(2) == _portable_hash(2.0)
+
+    def test_date_hash_deterministic(self):
+        import datetime
+
+        d = datetime.date(1995, 6, 1)
+        assert _portable_hash(d) == d.toordinal()
+
+    def test_range_partitioner(self):
+        p = RangePartitioner([10, 20])
+        assert p.num_partitions == 3
+        assert p.partition(5) == 0
+        assert p.partition(15) == 1
+        assert p.partition(25) == 2
+
+    def test_range_partitioner_descending(self):
+        p = RangePartitioner([10, 20], ascending=False)
+        assert p.partition(5) == 2
+        assert p.partition(25) == 0
+
+    def test_partitioner_equality(self):
+        assert HashPartitioner(4) == HashPartitioner(4)
+        assert HashPartitioner(4) != HashPartitioner(5)
+        assert RangePartitioner([1]) != HashPartitioner(2)
+
+    def test_invalid_partition_count(self):
+        with pytest.raises(ValueError):
+            HashPartitioner(0)
+
+
+class TestMetrics:
+    def test_snapshot_diff(self):
+        metrics = MetricsRegistry()
+        metrics.incr("x", 5)
+        first = metrics.snapshot()
+        metrics.incr("x", 2)
+        metrics.incr("y")
+        delta = metrics.snapshot().diff(first)
+        assert delta.get("x") == 2
+        assert delta.get("y") == 1
+
+    def test_cache_hit_rate(self):
+        metrics = MetricsRegistry()
+        assert metrics.cache_hit_rate() == 0.0
+        metrics.incr(MetricsRegistry.CACHE_HITS, 3)
+        metrics.incr(MetricsRegistry.CACHE_MISSES, 1)
+        assert metrics.cache_hit_rate() == 0.75
+
+    def test_reset(self):
+        metrics = MetricsRegistry()
+        metrics.incr("a")
+        metrics.reset()
+        assert metrics.get("a") == 0.0
+
+    def test_network_cost_model(self, ctx):
+        pairs = ctx.parallelize([(i, i) for i in range(20)], 2)
+        before = ctx.metrics.get(MetricsRegistry.NETWORK_COST)
+        pairs.partition_by(HashPartitioner(2)).collect()
+        cost = ctx.metrics.get(MetricsRegistry.NETWORK_COST) - before
+        assert cost == pytest.approx(20 * ctx.config.shuffle_record_cost)
+
+
+class TestFaultToleranceAndScheduling:
+    def test_results_identical_under_faults(self):
+        clean = EngineContext()
+        expected = (
+            clean.parallelize(range(200), 8).map(lambda v: v * 7).sum()
+        )
+        faulty = EngineContext()
+        faulty.install_fault_injector(
+            FaultInjector(failure_probability=0.4, max_failures=20, seed=3)
+        )
+        actual = faulty.parallelize(range(200), 8).map(lambda v: v * 7).sum()
+        assert actual == expected
+        assert faulty.metrics.get(MetricsRegistry.TASK_RETRIES) > 0
+
+    def test_shuffle_survives_faults(self):
+        faulty = EngineContext(EngineConfig(max_task_retries=8))
+        faulty.install_fault_injector(
+            FaultInjector(failure_probability=0.3, max_failures=10, seed=8)
+        )
+        out = dict(
+            faulty.parallelize([(i % 3, 1) for i in range(30)], 5)
+            .reduce_by_key(lambda a, b: a + b)
+            .collect()
+        )
+        assert out == {0: 10, 1: 10, 2: 10}
+
+    def test_exceeding_retry_limit_aborts(self):
+        config = EngineConfig(max_task_retries=2)
+        engine = EngineContext(config)
+        engine.install_fault_injector(FaultInjector(failure_probability=1.0, seed=0))
+        with pytest.raises(TaskFailedError):
+            engine.parallelize([1, 2, 3], 1).collect()
+
+    def test_fault_injector_budget(self):
+        injector = FaultInjector(failure_probability=1.0, max_failures=2, seed=0)
+        failures = 0
+        for attempt in range(10):
+            try:
+                injector.maybe_fail(1, 0, attempt)
+            except Exception:
+                failures += 1
+        assert failures == 2
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            FaultInjector(failure_probability=1.5)
+
+    def test_threaded_results_match_sequential(self, threaded_ctx):
+        expected = sum(v * v for v in range(500))
+        actual = threaded_ctx.parallelize(range(500), 8).map(lambda v: v * v).sum()
+        assert actual == expected
+
+    def test_jobs_counted(self, ctx):
+        before = ctx.metrics.get(MetricsRegistry.JOBS)
+        ctx.parallelize([1], 1).collect()
+        assert ctx.metrics.get(MetricsRegistry.JOBS) == before + 1

@@ -1,0 +1,134 @@
+"""Tests for grouped histogram releases and logistic regression."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import DPError
+from repro.core.grouped import GroupSliceQuery, release_histogram
+from repro.mining import LifeScienceConfig, make_life_science_tables
+from repro.mining.logreg import LogisticRegressionQuery, _sigmoid
+from repro.tpch.datagen import PRIORITIES
+from repro.tpch.queries.base import random_order
+
+
+class TestGroupedRelease:
+    def test_histogram_counts_roughly_correct(self, tpch_tables):
+        result = release_histogram(
+            tpch_tables,
+            protected_table="orders",
+            groups=PRIORITIES,
+            group_of=lambda o: o["o_orderpriority"],
+            epsilon=5.0,
+            domain_sampler=random_order,
+            sample_size=100,
+            seed=2,
+        )
+        truth_total = sum(result.true_values.values())
+        assert truth_total == len(tpch_tables["orders"])
+        for group in PRIORITIES:
+            assert abs(
+                result.released[group] - result.true_values[group]
+            ) < 40  # Laplace(2/5) tail
+
+    def test_groups_partition_influence(self, tpch_tables):
+        """A record contributes to exactly one group's query."""
+        queries = [
+            GroupSliceQuery(
+                "h", "orders", priority,
+                lambda o: o["o_orderpriority"], None, random_order,
+            )
+            for priority in PRIORITIES
+        ]
+        for order in tpch_tables["orders"][:50]:
+            contributions = [q.map_record(order, None) for q in queries]
+            assert sum(contributions) == 1.0
+            assert contributions.count(1.0) == 1
+
+    def test_sum_histogram(self, tpch_tables):
+        result = release_histogram(
+            tpch_tables,
+            protected_table="orders",
+            groups=["F", "O", "P"],
+            group_of=lambda o: o["o_orderstatus"],
+            epsilon=5.0,
+            value_of=lambda o: 1.0,  # sum of ones == count
+            domain_sampler=random_order,
+            sample_size=100,
+        )
+        assert sum(result.true_values.values()) == len(tpch_tables["orders"])
+
+    def test_absent_group_released_as_noise_around_zero(self, tpch_tables):
+        result = release_histogram(
+            tpch_tables,
+            protected_table="orders",
+            groups=["NO-SUCH-PRIORITY"],
+            group_of=lambda o: o["o_orderpriority"],
+            epsilon=5.0,
+            domain_sampler=random_order,
+            sample_size=100,
+        )
+        assert result.true_values["NO-SUCH-PRIORITY"] == 0.0
+        assert abs(result.released["NO-SUCH-PRIORITY"]) < 30
+
+    def test_duplicate_groups_rejected(self, tpch_tables):
+        with pytest.raises(DPError):
+            release_histogram(
+                tpch_tables, "orders", ["F", "F"],
+                lambda o: o["o_orderstatus"], epsilon=1.0,
+            )
+
+    def test_invalid_epsilon(self, tpch_tables):
+        with pytest.raises(DPError):
+            release_histogram(
+                tpch_tables, "orders", ["F"],
+                lambda o: o["o_orderstatus"], epsilon=0.0,
+            )
+
+
+class TestLogisticRegression:
+    @pytest.fixture(scope="class")
+    def tables(self):
+        return make_life_science_tables(
+            LifeScienceConfig(num_records=1500, dim=3, num_clusters=2, seed=9)
+        )
+
+    def test_sigmoid_stable(self):
+        assert _sigmoid(0.0) == 0.5
+        assert _sigmoid(800.0) == pytest.approx(1.0)
+        assert _sigmoid(-800.0) == pytest.approx(0.0)
+
+    def test_training_beats_chance(self, tables):
+        query = LogisticRegressionQuery(dim=3, learning_rate=0.1)
+        weights = query.train(tables, steps=40)
+        labels = [1.0 if r["label"] > 0 else 0.0 for r in tables["points"]]
+        base_rate = max(np.mean(labels), 1 - np.mean(labels))
+        assert query.accuracy(tables, weights) > base_rate + 0.02
+
+    def test_monoid(self, tables):
+        LogisticRegressionQuery(dim=3).validate_monoid(tables, sample=20)
+
+    def test_gradient_bounded(self, tables):
+        """Logistic gradients are bounded by |x|, unlike squared loss."""
+        query = LogisticRegressionQuery(dim=3)
+        aux = query.build_aux(tables)
+        for record in tables["points"][:100]:
+            gradient, _count = query.map_record(record, aux)
+            x = np.append(np.asarray(record["features"]), 1.0)
+            assert np.all(np.abs(gradient) <= np.abs(x) + 1e-12)
+
+    def test_runs_under_upa(self, tables):
+        from repro.core import UPAConfig, UPASession
+
+        query = LogisticRegressionQuery(dim=3)
+        session = UPASession(UPAConfig(sample_size=100, seed=3))
+        result = session.run(query, tables, epsilon=1.0)
+        assert result.noisy_output.shape == (4,)
+
+    def test_bad_weight_shape(self):
+        with pytest.raises(ValueError):
+            LogisticRegressionQuery(dim=3, initial_weights=np.zeros(7))
+
+    def test_finalize_empty_returns_initial(self):
+        query = LogisticRegressionQuery(dim=2)
+        out = query.finalize(query.zero(), query.initial_weights)
+        assert np.allclose(out, query.initial_weights)

@@ -1,0 +1,70 @@
+"""Tests for the mechanism choice in UPASession (Laplace vs Gaussian)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import DPError, PrivacyBudgetExceeded
+from repro.core import UPAConfig, UPASession
+from repro.dp import PrivacyAccountant
+from repro.tpch import TPCHConfig, TPCHGenerator
+from repro.tpch.workload import query_by_name
+
+
+@pytest.fixture(scope="module")
+def tables():
+    return TPCHGenerator(TPCHConfig(scale_rows=1500, seed=6)).generate()
+
+
+class TestMechanismChoice:
+    def test_invalid_mechanism_rejected(self):
+        with pytest.raises(DPError):
+            UPAConfig(mechanism="exponential")
+
+    def test_gaussian_runs(self, tables):
+        session = UPASession(
+            UPAConfig(sample_size=60, seed=1, mechanism="gaussian",
+                      delta=1e-6)
+        )
+        result = session.run(query_by_name("tpch1"), tables, epsilon=0.5)
+        assert np.isfinite(result.noisy_scalar())
+
+    def test_gaussian_charges_delta(self, tables):
+        accountant = PrivacyAccountant(total_epsilon=1.0, total_delta=1.5e-6)
+        session = UPASession(
+            UPAConfig(sample_size=60, seed=1, mechanism="gaussian",
+                      delta=1e-6),
+            accountant=accountant,
+        )
+        session.run(query_by_name("tpch1"), tables, epsilon=0.3)
+        _eps, delta = accountant.spent()
+        assert delta == pytest.approx(1e-6)
+        with pytest.raises(PrivacyBudgetExceeded):
+            session.run(query_by_name("tpch1"), tables, epsilon=0.3)
+
+    def test_laplace_charges_no_delta(self, tables):
+        accountant = PrivacyAccountant(total_epsilon=1.0, total_delta=0.0)
+        session = UPASession(
+            UPAConfig(sample_size=60, seed=1), accountant=accountant
+        )
+        session.run(query_by_name("tpch1"), tables, epsilon=0.3)
+        assert accountant.spent()[1] == 0.0
+
+    def test_noise_reproducible_per_mechanism(self, tables):
+        def release(mechanism):
+            session = UPASession(
+                UPAConfig(sample_size=60, seed=9, mechanism=mechanism)
+            )
+            return session.run(
+                query_by_name("tpch1"), tables, epsilon=0.5
+            ).noisy_scalar()
+
+        assert release("laplace") == release("laplace")
+        assert release("gaussian") == release("gaussian")
+        assert release("laplace") != release("gaussian")
+
+    def test_gaussian_epsilon_must_be_subunit(self, tables):
+        session = UPASession(
+            UPAConfig(sample_size=60, seed=1, mechanism="gaussian")
+        )
+        with pytest.raises(DPError):
+            session.run(query_by_name("tpch1"), tables, epsilon=2.0)

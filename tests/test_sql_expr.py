@@ -1,0 +1,204 @@
+"""Unit tests for the expression AST and aggregate specs."""
+
+import datetime
+
+import pytest
+
+from repro.common.errors import AnalysisError
+from repro.sql.expr import (
+    Alias,
+    BinaryOp,
+    Column,
+    FuncCall,
+    Literal,
+    col,
+    combine_conjuncts,
+    lit,
+    split_conjuncts,
+)
+from repro.sql.functions import (
+    AggregateSpec,
+    avg,
+    count,
+    count_distinct,
+    count_star,
+    max_,
+    min_,
+    sum_,
+)
+
+ROW = {"a": 3, "b": 10, "s": "hello", "n": None,
+       "d": datetime.date(1994, 5, 1)}
+
+
+class TestEvaluation:
+    def test_column(self):
+        assert col("a").eval(ROW) == 3
+
+    def test_missing_column_raises(self):
+        with pytest.raises(AnalysisError):
+            col("zzz").eval(ROW)
+
+    def test_literal(self):
+        assert lit(42).eval(ROW) == 42
+
+    def test_arithmetic(self):
+        assert (col("a") + col("b")).eval(ROW) == 13
+        assert (col("b") - 1).eval(ROW) == 9
+        assert (col("a") * 2).eval(ROW) == 6
+        assert (col("b") / 4).eval(ROW) == 2.5
+        assert (1 + col("a")).eval(ROW) == 4
+        assert (20 - col("b")).eval(ROW) == 10
+
+    def test_comparisons(self):
+        assert (col("a") < col("b")).eval(ROW) is True
+        assert (col("a") >= 3).eval(ROW) is True
+        assert (col("a") == 3).eval(ROW) is True
+        assert (col("a") != 3).eval(ROW) is False
+
+    def test_boolean_connectives(self):
+        expr = (col("a") > 1) & (col("b") < 20)
+        assert expr.eval(ROW) is True
+        assert ((col("a") > 5) | (col("b") == 10)).eval(ROW) is True
+        assert (~(col("a") == 3)).eval(ROW) is False
+
+    def test_negation(self):
+        assert (-col("a")).eval(ROW) == -3
+
+    def test_null_comparison_is_false(self):
+        assert (col("n") == 1).eval(ROW) is False
+        assert (col("n") < 1).eval(ROW) is False
+
+    def test_null_arithmetic_propagates(self):
+        assert (col("n") + 1).eval(ROW) is None
+
+    def test_like(self):
+        assert col("s").like("he%").eval(ROW)
+        assert col("s").like("h_llo").eval(ROW)
+        assert not col("s").like("x%").eval(ROW)
+        assert col("s").not_like("x%").eval(ROW)
+
+    def test_like_null_is_false(self):
+        assert col("n").like("%").eval(ROW) is False
+
+    def test_like_escapes_regex_chars(self):
+        row = {"s": "a.b"}
+        assert col("s").like("a.b").eval(row)
+        assert not col("s").like("axb").eval(row)
+
+    def test_isin(self):
+        assert col("a").isin([1, 2, 3]).eval(ROW)
+        assert col("a").not_in([5, 6]).eval(ROW)
+
+    def test_between(self):
+        assert col("a").between(1, 5).eval(ROW)
+        assert not col("a").between(4, 5).eval(ROW)
+
+    def test_is_null(self):
+        assert col("n").is_null().eval(ROW)
+        assert col("a").is_not_null().eval(ROW)
+
+    def test_date_comparison(self):
+        assert (col("d") < lit(datetime.date(1995, 1, 1))).eval(ROW)
+
+    def test_func_call(self):
+        assert FuncCall("abs", [lit(-4)]).eval(ROW) == 4
+        assert FuncCall("upper", [col("s")]).eval(ROW) == "HELLO"
+        assert FuncCall("year", [col("d")]).eval(ROW) == 1994
+        assert FuncCall("length", [col("s")]).eval(ROW) == 5
+        assert FuncCall("coalesce", [col("n"), lit(7)]).eval(ROW) == 7
+
+    def test_func_null_safe(self):
+        assert FuncCall("abs", [col("n")]).eval(ROW) is None
+
+    def test_unknown_func(self):
+        with pytest.raises(AnalysisError):
+            FuncCall("no_such_func", [])
+
+    def test_unknown_operator(self):
+        with pytest.raises(AnalysisError):
+            BinaryOp("%%", lit(1), lit(2))
+
+
+class TestStructure:
+    def test_references(self):
+        expr = (col("a") + col("b")) > col("c")
+        assert expr.references() == {"a", "b", "c"}
+
+    def test_alias_output_name(self):
+        assert (col("a") + 1).alias("a1").output_name() == "a1"
+        assert col("a").output_name() == "a"
+
+    def test_split_and_combine_conjuncts(self):
+        expr = (col("a") > 1) & (col("b") > 2) & (col("c") > 3)
+        parts = split_conjuncts(expr)
+        assert len(parts) == 3
+        rebuilt = combine_conjuncts(parts)
+        row = {"a": 5, "b": 5, "c": 5}
+        assert rebuilt.eval(row) == expr.eval(row)
+
+    def test_combine_empty(self):
+        assert combine_conjuncts([]) is None
+
+    def test_repr_roundtrippable_text(self):
+        assert "a" in repr(col("a") + 1)
+
+
+class TestAggregateSpecs:
+    ROWS = [{"v": 1}, {"v": 3}, {"v": None}, {"v": 3}]
+
+    def _run(self, spec: AggregateSpec):
+        acc = spec.zero()
+        for row in self.ROWS:
+            acc = spec.add(acc, row)
+        return spec.finish(acc)
+
+    def test_count_star(self):
+        assert self._run(count_star("n")) == 4
+
+    def test_count_column_skips_nulls(self):
+        assert self._run(count(col("v"), "n")) == 3
+
+    def test_count_distinct(self):
+        assert self._run(count_distinct(col("v"), "n")) == 2
+
+    def test_sum(self):
+        assert self._run(sum_(col("v"), "s")) == 7
+
+    def test_sum_empty_is_null(self):
+        spec = sum_(col("v"), "s")
+        assert spec.finish(spec.zero()) is None
+
+    def test_avg(self):
+        assert self._run(avg(col("v"), "a")) == pytest.approx(7 / 3)
+
+    def test_avg_empty_is_null(self):
+        spec = avg(col("v"), "a")
+        assert spec.finish(spec.zero()) is None
+
+    def test_min_max(self):
+        assert self._run(min_(col("v"), "m")) == 1
+        assert self._run(max_(col("v"), "m")) == 3
+
+    def test_merge_matches_sequential(self):
+        spec = sum_(col("v"), "s")
+        left = spec.zero()
+        for row in self.ROWS[:2]:
+            left = spec.add(left, row)
+        right = spec.zero()
+        for row in self.ROWS[2:]:
+            right = spec.add(right, row)
+        assert spec.finish(spec.merge(left, right)) == 7
+
+    def test_merge_with_null_sides(self):
+        spec = min_(col("v"), "m")
+        assert spec.merge(None, 5) == 5
+        assert spec.merge(5, None) == 5
+
+    def test_unsupported_aggregate(self):
+        with pytest.raises(AnalysisError):
+            AggregateSpec("median", col("v"), "m")
+
+    def test_non_count_requires_expr(self):
+        with pytest.raises(AnalysisError):
+            AggregateSpec("sum", None, "s")

@@ -1,0 +1,272 @@
+"""Tests for the SQL text parser and its planner."""
+
+import datetime
+
+import pytest
+
+from repro.common.errors import AnalysisError, ParseError
+from repro.sql import SQLSession
+from repro.sql.parser import tokenize
+
+
+@pytest.fixture
+def session():
+    sess = SQLSession()
+    sess.create_table(
+        "emp",
+        [
+            {"eid": i, "dept": i % 3, "salary": 1000.0 + 100 * i,
+             "name": f"emp{i}",
+             "hired": datetime.date(2000 + i % 5, 1, 15)}
+            for i in range(30)
+        ],
+    )
+    sess.create_table(
+        "dept", [{"did": d, "dname": f"d{d}"} for d in range(3)]
+    )
+    sess.create_table(
+        "bonus", [{"beid": i, "amount": 50 * i} for i in range(0, 30, 3)]
+    )
+    return sess
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        tokens = tokenize("SELECT a FROM t WHERE a >= 1.5")
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["keyword", "ident", "keyword", "ident",
+                         "keyword", "ident", "op", "number", "eof"]
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].value == "'it''s'"
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize("SELECT ;")
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("SeLeCt FROM where")
+        assert all(t.kind == "keyword" for t in tokens[:-1])
+
+
+class TestBasicQueries:
+    def test_select_star(self, session):
+        rows = session.sql("SELECT * FROM dept").collect()
+        assert len(rows) == 3
+        assert set(rows[0]) == {"did", "dname"}
+
+    def test_select_columns_and_alias(self, session):
+        rows = session.sql(
+            "SELECT eid, salary * 2 AS double_pay FROM emp LIMIT 1"
+        ).collect()
+        assert rows == [{"eid": 0, "double_pay": 2000.0}]
+
+    def test_where_comparison(self, session):
+        n = session.sql("SELECT COUNT(*) AS n FROM emp WHERE salary > 3500").scalar()
+        assert n == sum(1 for i in range(30) if 1000 + 100 * i > 3500)
+
+    def test_where_and_or_not(self, session):
+        n = session.sql(
+            "SELECT COUNT(*) AS n FROM emp "
+            "WHERE (dept = 0 OR dept = 1) AND NOT eid = 0"
+        ).scalar()
+        assert n == sum(1 for i in range(1, 30) if i % 3 in (0, 1))
+
+    def test_between(self, session):
+        n = session.sql(
+            "SELECT COUNT(*) AS n FROM emp WHERE eid BETWEEN 5 AND 7"
+        ).scalar()
+        assert n == 3
+
+    def test_not_between(self, session):
+        n = session.sql(
+            "SELECT COUNT(*) AS n FROM emp WHERE eid NOT BETWEEN 0 AND 27"
+        ).scalar()
+        assert n == 2
+
+    def test_in_list(self, session):
+        n = session.sql(
+            "SELECT COUNT(*) AS n FROM emp WHERE eid IN (1, 2, 99)"
+        ).scalar()
+        assert n == 2
+
+    def test_like(self, session):
+        n = session.sql(
+            "SELECT COUNT(*) AS n FROM emp WHERE name LIKE 'emp1%'"
+        ).scalar()
+        assert n == 11  # emp1, emp10..emp19
+
+    def test_is_null(self, session):
+        session.create_table("nulls", [{"x": None}, {"x": 3}])
+        assert session.sql(
+            "SELECT COUNT(*) AS n FROM nulls WHERE x IS NULL"
+        ).scalar() == 1
+        assert session.sql(
+            "SELECT COUNT(*) AS n FROM nulls WHERE x IS NOT NULL"
+        ).scalar() == 1
+
+    def test_date_literal_and_interval(self, session):
+        n = session.sql(
+            "SELECT COUNT(*) AS n FROM emp "
+            "WHERE hired < DATE '2003-01-01' - INTERVAL '30' DAY"
+        ).scalar()
+        assert n == sum(1 for i in range(30) if 2000 + i % 5 <= 2002)
+
+    def test_order_by_and_limit(self, session):
+        rows = session.sql(
+            "SELECT eid FROM emp ORDER BY eid DESC LIMIT 3"
+        ).collect()
+        assert [r["eid"] for r in rows] == [29, 28, 27]
+
+    def test_order_by_alias(self, session):
+        rows = session.sql(
+            "SELECT eid, salary AS pay FROM emp ORDER BY pay ASC LIMIT 1"
+        ).collect()
+        assert rows[0]["eid"] == 0
+
+    def test_scalar_function(self, session):
+        rows = session.sql(
+            "SELECT upper(name) AS u FROM emp LIMIT 1"
+        ).collect()
+        assert rows == [{"u": "EMP0"}]
+
+    def test_trailing_garbage_rejected(self, session):
+        with pytest.raises(ParseError):
+            session.sql("SELECT * FROM dept extra garbage ,")
+
+    def test_unknown_table(self, session):
+        with pytest.raises(AnalysisError):
+            session.sql("SELECT * FROM nope")
+
+    def test_unknown_column(self, session):
+        with pytest.raises(AnalysisError):
+            session.sql("SELECT wat FROM dept")
+
+
+class TestAggregates:
+    def test_global_count(self, session):
+        assert session.sql("SELECT COUNT(*) AS n FROM emp").scalar() == 30
+
+    def test_group_by_with_having(self, session):
+        rows = session.sql(
+            "SELECT dept, COUNT(*) AS n, AVG(salary) AS pay FROM emp "
+            "GROUP BY dept HAVING COUNT(*) > 1 ORDER BY dept"
+        ).collect()
+        assert len(rows) == 3
+        assert all(r["n"] == 10 for r in rows)
+
+    def test_sum_min_max(self, session):
+        row = session.sql(
+            "SELECT SUM(salary) AS s, MIN(salary) AS lo, MAX(salary) AS hi "
+            "FROM emp"
+        ).collect()[0]
+        assert row["lo"] == 1000.0
+        assert row["hi"] == 3900.0
+        assert row["s"] == sum(1000.0 + 100 * i for i in range(30))
+
+    def test_count_distinct(self, session):
+        assert session.sql(
+            "SELECT COUNT(DISTINCT dept) AS n FROM emp"
+        ).scalar() == 3
+
+    def test_aggregate_of_expression(self, session):
+        value = session.sql(
+            "SELECT SUM(salary * 0.1) AS s FROM emp WHERE dept = 0"
+        ).scalar()
+        expected = sum(
+            (1000.0 + 100 * i) * 0.1 for i in range(30) if i % 3 == 0
+        )
+        assert value == pytest.approx(expected)
+
+    def test_select_star_in_aggregate_rejected(self, session):
+        with pytest.raises(AnalysisError):
+            session.sql("SELECT * FROM emp GROUP BY dept")
+
+    def test_non_grouped_column_rejected(self, session):
+        with pytest.raises(AnalysisError):
+            session.sql("SELECT eid, COUNT(*) AS n FROM emp GROUP BY dept")
+
+
+class TestJoinsAndSubqueries:
+    def test_comma_join(self, session):
+        n = session.sql(
+            "SELECT COUNT(*) AS n FROM emp, dept WHERE dept = did"
+        ).scalar()
+        assert n == 30
+
+    def test_three_way_join(self, session):
+        n = session.sql(
+            "SELECT COUNT(*) AS n FROM emp, dept, bonus "
+            "WHERE dept = did AND eid = beid"
+        ).scalar()
+        assert n == 10
+
+    def test_join_with_alias_qualified_columns(self, session):
+        n = session.sql(
+            "SELECT COUNT(*) AS n FROM emp e, dept d "
+            "WHERE e.dept = d.did AND d.did = 1"
+        ).scalar()
+        assert n == 10
+
+    def test_disconnected_tables_rejected(self, session):
+        with pytest.raises(AnalysisError):
+            session.sql("SELECT COUNT(*) AS n FROM emp, dept")
+
+    def test_exists(self, session):
+        n = session.sql(
+            "SELECT COUNT(*) AS n FROM emp WHERE EXISTS "
+            "(SELECT * FROM bonus WHERE beid = eid AND amount > 100)"
+        ).scalar()
+        assert n == sum(1 for i in range(0, 30, 3) if 50 * i > 100)
+
+    def test_not_exists(self, session):
+        n = session.sql(
+            "SELECT COUNT(*) AS n FROM emp WHERE NOT EXISTS "
+            "(SELECT * FROM bonus WHERE beid = eid)"
+        ).scalar()
+        assert n == 20
+
+    def test_in_subquery(self, session):
+        n = session.sql(
+            "SELECT COUNT(*) AS n FROM emp WHERE eid IN "
+            "(SELECT beid FROM bonus)"
+        ).scalar()
+        assert n == 10
+
+    def test_not_in_subquery(self, session):
+        n = session.sql(
+            "SELECT COUNT(*) AS n FROM emp WHERE eid NOT IN "
+            "(SELECT beid FROM bonus WHERE amount > 500)"
+        ).scalar()
+        big_bonus = {i for i in range(0, 30, 3) if 50 * i > 500}
+        assert n == 30 - len(big_bonus)
+
+    def test_scalar_subquery(self, session):
+        n = session.sql(
+            "SELECT COUNT(*) AS n FROM emp "
+            "WHERE salary > (SELECT AVG(salary) FROM emp)"
+        ).scalar()
+        assert n == 15
+
+    def test_correlated_residual_inequality(self, session):
+        session.create_table(
+            "li",
+            [{"ok": 1, "sk": 1}, {"ok": 1, "sk": 2}, {"ok": 2, "sk": 9}],
+        )
+        n = session.sql(
+            "SELECT COUNT(*) AS n FROM li l1 WHERE EXISTS "
+            "(SELECT * FROM li l2 WHERE l2.ok = l1.ok AND l2.sk <> l1.sk)"
+        ).scalar()
+        assert n == 2
+
+    def test_uncorrelated_exists_rejected(self, session):
+        with pytest.raises(AnalysisError):
+            session.sql(
+                "SELECT COUNT(*) AS n FROM emp WHERE EXISTS "
+                "(SELECT * FROM bonus WHERE amount > 0)"
+            )
+
+    def test_exists_outside_where_rejected(self, session):
+        with pytest.raises(ParseError):
+            session.sql("SELECT EXISTS (SELECT * FROM dept) FROM emp")
