@@ -12,6 +12,7 @@ than silently under-protected.
 
 from repro.common.errors import QueryShapeError
 from repro.core import UPAConfig, UPASession
+from repro.dp import PrivacyAccountant
 from repro.tpch import TPCHConfig, TPCHGenerator
 from repro.tpch.queries import base as samplers
 
@@ -42,7 +43,10 @@ REJECTED = [
 
 def main() -> None:
     tables = TPCHGenerator(TPCHConfig(scale_rows=20_000, seed=1)).generate()
-    session = UPASession(UPAConfig(sample_size=1000, seed=4))
+    accountant = PrivacyAccountant(total_epsilon=4.0)
+    session = UPASession(
+        UPAConfig(sample_size=1000, seed=4), accountant=accountant
+    )
 
     for sql, protect, sampler in QUERIES:
         result = session.run_sql(

@@ -17,6 +17,7 @@ victim.
 import numpy as np
 
 from repro.core import UPAConfig, UPASession
+from repro.dp import PrivacyAccountant
 from repro.tpch import TPCHConfig, TPCHGenerator, query_by_name
 
 
@@ -37,7 +38,10 @@ def main() -> None:
           f"-> difference {raw_with - raw_without:.0f} reveals membership")
 
     # -- the same attack against UPA ---------------------------------------------
-    session = UPASession(UPAConfig(sample_size=1000, seed=1))
+    session = UPASession(
+        UPAConfig(sample_size=1000, seed=1),
+        accountant=PrivacyAccountant(total_epsilon=1.0),
+    )
     first = session.run(query, tables, epsilon=0.5)
     second = session.run(query, without_victim, epsilon=0.5)
 
@@ -60,7 +64,10 @@ def main() -> None:
           "between the two worlds")
     gaps = []
     for seed in range(10):
-        sess = UPASession(UPAConfig(sample_size=500, seed=seed))
+        sess = UPASession(
+            UPAConfig(sample_size=500, seed=seed),
+            accountant=PrivacyAccountant(total_epsilon=1.0),
+        )
         a = sess.run(query, tables, epsilon=0.5).noisy_scalar()
         b = sess.run(query, without_victim, epsilon=0.5).noisy_scalar()
         gaps.append(a - b)

@@ -67,7 +67,10 @@ def main() -> None:
 
     # -- one private KMeans update ----------------------------------------------
     kmeans = KMeansQuery(num_clusters=3, dim=4, dataset_config=config)
-    session = UPASession(UPAConfig(sample_size=500, seed=99))
+    session = UPASession(
+        UPAConfig(sample_size=500, seed=99),
+        accountant=PrivacyAccountant(total_epsilon=1.0),
+    )
     result = session.run(kmeans, tables, epsilon=1.0)
     centers = result.noisy_output.reshape(3, 4)
     true_centers = kmeans.output(tables).reshape(3, 4)

@@ -11,6 +11,7 @@ Walks the whole pipeline on a generated TPC-H dataset:
 """
 
 from repro import EngineContext, UPAConfig, UPASession, dpread
+from repro.dp import PrivacyAccountant
 from repro.tpch import TPCHConfig, TPCHGenerator, query_by_name
 
 
@@ -22,7 +23,10 @@ def main() -> None:
 
     # -- 2. one UPA query -----------------------------------------------------
     query = query_by_name("tpch1")  # SELECT COUNT(*) FROM lineitem
-    session = UPASession(UPAConfig(sample_size=1000, seed=0))
+    session = UPASession(
+        UPAConfig(sample_size=1000, seed=0),
+        accountant=PrivacyAccountant(total_epsilon=1.0),
+    )
     result = session.run(query, tables, epsilon=0.5)
 
     # -- 3. what happened ------------------------------------------------------

@@ -8,6 +8,9 @@ Commands:
   generated TPC-H dataset (compiled by the provenance bridge).
 * ``compare`` — UPA vs FLEX vs brute force sensitivities for one
   workload.
+* ``lint`` — the upalint static analyzer: query purity, plan
+  stability, and budget-flow diagnostics over the built-in workloads
+  and/or analyst scripts; exits non-zero on error-severity findings.
 """
 
 from __future__ import annotations
@@ -52,6 +55,32 @@ def _build_parser() -> argparse.ArgumentParser:
     cmp_parser.add_argument("workload")
     cmp_parser.add_argument("--scale", type=int, default=20_000)
     cmp_parser.add_argument("--seed", type=int, default=0)
+
+    lint = sub.add_parser(
+        "lint",
+        help="static safety analysis (query purity, plan stability, "
+        "budget flow)",
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="Python files/directories for the budget-flow pass "
+        "(e.g. examples/)",
+    )
+    lint.add_argument(
+        "--workload", action="append", dest="workloads", metavar="NAME",
+        help="lint only this workload (repeatable; default: all nine)",
+    )
+    lint.add_argument(
+        "--no-workloads", action="store_true",
+        help="skip the built-in workload registry",
+    )
+    lint.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    lint.add_argument(
+        "--quiet", action="store_true",
+        help="hide info-severity diagnostics in text output",
+    )
     return parser
 
 
@@ -161,6 +190,45 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    import os
+
+    from repro.staticcheck import Severity, run_lint
+    from repro.workloads import all_workloads
+
+    # Usage errors (typo'd workload, missing path) must not silently
+    # lint nothing and exit 0 — CI would never notice.
+    if args.workloads:
+        known = {w.name for w in all_workloads()}
+        unknown = [n for n in args.workloads if n not in known]
+        if unknown:
+            print(
+                f"repro lint: unknown workload(s) {', '.join(unknown)}; "
+                f"available: {', '.join(sorted(known))}",
+                file=sys.stderr,
+            )
+            return 2
+    for path in args.paths:
+        if not os.path.exists(path):
+            print(f"repro lint: path does not exist: {path}", file=sys.stderr)
+            return 2
+        if not os.path.isdir(path) and not path.endswith(".py"):
+            print(
+                f"repro lint: not a directory or .py file: {path}",
+                file=sys.stderr,
+            )
+            return 2
+
+    report = run_lint(
+        workloads=not args.no_workloads,
+        workload_names=args.workloads,
+        paths=args.paths,
+        min_severity=Severity.WARNING if args.quiet else Severity.INFO,
+    )
+    print(report.render(as_json=args.json))
+    return report.exit_code
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     try:
@@ -172,6 +240,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_run_sql(args)
         if args.command == "compare":
             return _cmd_compare(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
     except BrokenPipeError:  # e.g. `repro list | head`
         return 0
     return 1  # pragma: no cover

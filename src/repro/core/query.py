@@ -71,6 +71,11 @@ class MapReduceQuery:
     protected_table: str = ""
     #: dimension of the finalized output vector.
     output_dim: int = 1
+    #: declare True when build_aux legitimately reads the protected
+    #: table (the query's semantics must stay linear in it — document
+    #: why).  The static analyzer (repro.staticcheck) downgrades its
+    #: UPA005 finding to info for declared queries.
+    aux_reads_protected: bool = False
 
     # ------------------------------------------------------------------
     # Monoid interface

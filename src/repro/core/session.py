@@ -21,6 +21,7 @@ neighbour (the ablation quantifying the paper's core efficiency claim).
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Tuple
@@ -59,6 +60,11 @@ class UPAConfig:
             False = naive re-reduce per neighbour (ablation).
         validate_queries: check the query's reducer is commutative and
             associative before running (cheap sampled check).
+        strict: the full pre-registration gate — runs validate_monoid
+            AND the upalint purity pass (repro.staticcheck) the first
+            time each query class is submitted; error-severity
+            diagnostics raise StaticAnalysisError before any budget is
+            spent.
         engine_partitions: parallelism for map/reduce jobs per dataset
             partition.
     """
@@ -69,6 +75,7 @@ class UPAConfig:
     inference: InferenceConfig = field(default_factory=InferenceConfig)
     reuse_intermediate: bool = True
     validate_queries: bool = False
+    strict: bool = False
     engine_partitions: int = 2
     #: 'laplace' (paper) or 'gaussian' ((eps, delta)-DP extension; the
     #: L1 range width is used as a conservative L2 bound).
@@ -196,6 +203,8 @@ class UPASession:
         self.accountant = accountant
         self._run_counter = 0
         self._answer_cache: dict = {}
+        #: query classes already cleared by the strict-mode static gate.
+        self._lint_cleared: set = set()
 
     # ------------------------------------------------------------------
     # Public API
@@ -209,9 +218,13 @@ class UPASession:
     ) -> UPAResult:
         """Answer ``query`` on ``tables`` under epsilon-iDP."""
         epsilon = epsilon if epsilon is not None else self.config.epsilon
-        if epsilon <= 0:
-            raise DPError(f"epsilon must be positive, got {epsilon}")
-        if self.config.validate_queries:
+        if epsilon <= 0 or not math.isfinite(epsilon):
+            raise DPError(
+                f"epsilon must be positive and finite, got {epsilon}"
+            )
+        if self.config.strict:
+            self._static_gate(query)
+        if self.config.validate_queries or self.config.strict:
             query.validate_monoid(tables)
         cache_key = None
         if self.config.answer_cache:
@@ -269,6 +282,32 @@ class UPASession:
         if cache_key is not None:
             self._answer_cache[cache_key] = result
         return result
+
+    def _static_gate(self, query: MapReduceQuery) -> None:
+        """Strict mode: upalint's purity pass at query registration.
+
+        Runs once per (query class, name); error-severity diagnostics
+        abort the submission before any budget is charged.  Imported
+        lazily — the analyzer depends on nothing in this module, but
+        sessions should not pay its import cost unless strict.
+        """
+        key = (type(query).__module__, type(query).__qualname__,
+               query.name)
+        if key in self._lint_cleared:
+            return
+        from repro.common.errors import StaticAnalysisError
+        from repro.staticcheck import Severity, check_query, render_text
+
+        errors = [
+            d for d in check_query(query) if d.severity == Severity.ERROR
+        ]
+        if errors:
+            raise StaticAnalysisError(
+                f"query {query.name!r} failed static analysis "
+                f"({len(errors)} error(s)):\n{render_text(errors)}",
+                errors,
+            )
+        self._lint_cleared.add(key)
 
     @staticmethod
     def _cache_key(query: MapReduceQuery, tables: Tables,

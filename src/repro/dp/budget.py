@@ -2,11 +2,24 @@
 
 from __future__ import annotations
 
+import math
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.common.errors import DPError, PrivacyBudgetExceeded
+
+
+def _validate(epsilon: float, delta: float, *, what: str) -> None:
+    """Shared epsilon/delta validation (positive/finite, delta in range)."""
+    if not (isinstance(epsilon, (int, float)) and math.isfinite(epsilon)):
+        raise DPError(f"{what} epsilon must be finite, got {epsilon!r}")
+    if epsilon <= 0:
+        raise DPError(f"{what} epsilon must be positive, got {epsilon}")
+    if not (isinstance(delta, (int, float)) and math.isfinite(delta)):
+        raise DPError(f"{what} delta must be finite, got {delta!r}")
+    if delta < 0:
+        raise DPError(f"{what} delta must be non-negative, got {delta}")
 
 
 @dataclass
@@ -27,21 +40,22 @@ class PrivacyAccountant:
     """
 
     def __init__(self, total_epsilon: float, total_delta: float = 0.0):
-        if total_epsilon <= 0:
-            raise DPError(f"total_epsilon must be positive, got {total_epsilon}")
-        if total_delta < 0:
-            raise DPError(f"total_delta must be non-negative, got {total_delta}")
+        _validate(total_epsilon, total_delta, what="total")
         self.total_epsilon = total_epsilon
         self.total_delta = total_delta
         self._lock = threading.Lock()
         self._charges: List[_Charge] = []
 
+    def _spent_locked(self) -> Tuple[float, float]:
+        """(epsilon, delta) spent so far; caller must hold the lock."""
+        return (
+            sum(c.epsilon for c in self._charges),
+            sum(c.delta for c in self._charges),
+        )
+
     def spent(self) -> Tuple[float, float]:
         with self._lock:
-            return (
-                sum(c.epsilon for c in self._charges),
-                sum(c.delta for c in self._charges),
-            )
+            return self._spent_locked()
 
     def remaining_epsilon(self) -> float:
         return self.total_epsilon - self.spent()[0]
@@ -51,13 +65,9 @@ class PrivacyAccountant:
 
     def charge(self, epsilon: float, delta: float = 0.0, label: str = "") -> None:
         """Record a query's spend; raises if the budget would be exceeded."""
-        if epsilon <= 0:
-            raise DPError(f"charged epsilon must be positive, got {epsilon}")
-        if delta < 0:
-            raise DPError(f"charged delta must be non-negative, got {delta}")
+        _validate(epsilon, delta, what="charged")
         with self._lock:
-            spent_eps = sum(c.epsilon for c in self._charges)
-            spent_delta = sum(c.delta for c in self._charges)
+            spent_eps, spent_delta = self._spent_locked()
             if spent_eps + epsilon > self.total_epsilon + 1e-12:
                 raise PrivacyBudgetExceeded(epsilon, self.total_epsilon - spent_eps)
             if spent_delta + delta > self.total_delta + 1e-15:
@@ -67,3 +77,18 @@ class PrivacyAccountant:
     def history(self) -> List[Tuple[float, float, str]]:
         with self._lock:
             return [(c.epsilon, c.delta, c.label) for c in self._charges]
+
+    def __repr__(self) -> str:
+        with self._lock:
+            spent_eps, spent_delta = self._spent_locked()
+            queries = len(self._charges)
+        parts = [
+            f"spent_epsilon={spent_eps:g}/{self.total_epsilon:g}",
+            f"remaining_epsilon={self.total_epsilon - spent_eps:g}",
+        ]
+        if self.total_delta or spent_delta:
+            parts.append(
+                f"spent_delta={spent_delta:g}/{self.total_delta:g}"
+            )
+        parts.append(f"queries={queries}")
+        return f"<PrivacyAccountant {' '.join(parts)}>"

@@ -54,6 +54,17 @@ class LogicalPlan:
         for child in self.children():
             yield from child.walk()
 
+    def base_tables(self) -> "set[str]":
+        """Names of every base table this plan scans.
+
+        Used by the static analyzer and the SQL bridge to decide which
+        subtrees touch the protected table.
+        """
+        return {
+            node.table_name for node in self.walk()
+            if isinstance(node, Scan)
+        }
+
 
 class Scan(LogicalPlan):
     """Read a named table from the catalog."""

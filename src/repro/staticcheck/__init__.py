@@ -1,0 +1,56 @@
+"""``upalint``: static safety analysis for UPA queries, plans, budgets.
+
+Three diagnostics-producing passes (surfaced as ``repro lint`` and as
+the strict-mode registration gate in :class:`repro.core.UPASession`):
+
+* :mod:`repro.staticcheck.purity` — AST purity checks on every
+  registered :class:`MapReduceQuery`'s monoid methods (UPA001–UPA006);
+* :mod:`repro.staticcheck.stability` — a stability dataflow over
+  :mod:`repro.sql.logical` plans against the paper's Table 2 operator
+  matrix, cross-checked with the FLEX baseline (UPA101–UPA104);
+* :mod:`repro.staticcheck.budgetflow` — budget accounting checks over
+  entry-point scripts (UPA201–UPA203).
+
+All passes emit the shared :class:`Diagnostic` record with stable
+codes; ``docs/static_analysis.md`` catalogues them.
+"""
+
+from repro.staticcheck.analyzer import (
+    LintReport,
+    lint_paths,
+    lint_query,
+    lint_workloads,
+    run_lint,
+)
+from repro.staticcheck.budgetflow import check_file, check_source
+from repro.staticcheck.diagnostics import (
+    CODE_REGISTRY,
+    Diagnostic,
+    Severity,
+    has_errors,
+    make_diagnostic,
+    render_json,
+    render_text,
+)
+from repro.staticcheck.purity import check_query
+from repro.staticcheck.stability import StabilityReport, check_plan
+
+__all__ = [
+    "CODE_REGISTRY",
+    "Diagnostic",
+    "LintReport",
+    "Severity",
+    "StabilityReport",
+    "check_file",
+    "check_plan",
+    "check_query",
+    "check_source",
+    "has_errors",
+    "lint_paths",
+    "lint_query",
+    "lint_workloads",
+    "make_diagnostic",
+    "render_json",
+    "render_text",
+    "run_lint",
+]

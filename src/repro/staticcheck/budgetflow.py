@@ -1,0 +1,249 @@
+"""Budget-flow pass: AST checks over entry-point scripts.
+
+UPA's privacy guarantee is only as good as its accounting: every
+released output must be charged to a :class:`PrivacyAccountant`, and
+epsilon/delta literals must be valid.  This pass parses workload /
+example / analyst scripts (no imports, no execution) and reports:
+
+* ``UPA201`` — a ``UPASession`` constructed without ``accountant=``
+  whose ``run()``/``run_sql()`` results are therefore never charged;
+* ``UPA202`` — literal epsilon/delta arguments that are non-positive,
+  non-finite, or out of range wherever they appear (``run``,
+  ``run_sql``, ``UPAConfig``, ``PrivacyAccountant``, ``charge``);
+* ``UPA203`` — evaluation-only ``UPAResult`` fields (``raw_output``,
+  ``plain_output``, neighbour outputs) flowing into ``print`` — fine
+  in benchmarks, but those values are *not* differentially private.
+
+The pass is intraprocedural and name-based on purpose: it follows the
+overwhelmingly common pattern (``session = UPASession(...)`` then
+``session.run(...)``) and stays silent where it cannot resolve the
+receiver — a linter must never cry wolf on code it does not understand.
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+import os
+from typing import Iterable, List, Optional, Set
+
+from repro.staticcheck.diagnostics import Diagnostic, make_diagnostic
+
+PASS = "budget"
+
+#: UPAResult fields that exist only for evaluation, never for release.
+NON_PRIVATE_FIELDS = {
+    "raw_output",
+    "plain_output",
+    "removal_outputs",
+    "addition_outputs",
+    "neighbour_outputs",
+    "partition_outputs",
+}
+
+#: keyword names holding an epsilon at each call site.
+_EPSILON_KEYWORDS = {"epsilon", "total_epsilon", "epsilon_per_step"}
+_DELTA_KEYWORDS = {"delta", "total_delta"}
+
+
+def _literal_number(node: ast.AST) -> Optional[float]:
+    """The float value of a numeric literal (handles unary +/-)."""
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.USub, ast.UAdd)
+    ):
+        inner = _literal_number(node.operand)
+        if inner is None:
+            return None
+        return -inner if isinstance(node.op, ast.USub) else inner
+    if isinstance(node, ast.Constant) and isinstance(
+        node.value, (int, float)
+    ) and not isinstance(node.value, bool):
+        return float(node.value)
+    return None
+
+
+def _call_name(node: ast.Call) -> str:
+    """Trailing name of the called function ('UPASession', 'run', ...)."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+class _BudgetVisitor(ast.NodeVisitor):
+    def __init__(self, file: str):
+        self.file = file
+        self.diagnostics: List[Diagnostic] = []
+        #: variable names bound to a UPASession WITHOUT an accountant.
+        self.uncharged_sessions: Set[str] = set()
+        #: names bound to sessions WITH an accountant (never flagged).
+        self.charged_sessions: Set[str] = set()
+
+    # -- helpers ------------------------------------------------------------
+
+    def _emit(self, code: str, message: str, node: ast.AST, *,
+              hint: str = "") -> None:
+        self.diagnostics.append(
+            make_diagnostic(
+                code, message, file=self.file,
+                line=getattr(node, "lineno", 0),
+                obj=os.path.basename(self.file), hint=hint, pass_name=PASS,
+            )
+        )
+
+    def _check_privacy_literals(self, node: ast.Call) -> None:
+        for kw in node.keywords:
+            if kw.arg in _EPSILON_KEYWORDS:
+                value = _literal_number(kw.value)
+                if value is None:
+                    continue
+                if value <= 0 or not math.isfinite(value):
+                    self._emit(
+                        "UPA202",
+                        f"epsilon literal {value!r} passed to "
+                        f"{_call_name(node)}() must be a positive "
+                        "finite number",
+                        kw.value,
+                        hint="epsilon is the privacy loss per release; "
+                        "the paper's evaluation uses 0.1",
+                    )
+            elif kw.arg in _DELTA_KEYWORDS:
+                value = _literal_number(kw.value)
+                if value is None:
+                    continue
+                if value < 0 or value >= 1 or not math.isfinite(value):
+                    self._emit(
+                        "UPA202",
+                        f"delta literal {value!r} passed to "
+                        f"{_call_name(node)}() must lie in [0, 1)",
+                        kw.value,
+                        hint="delta is a failure probability; typical "
+                        "values are <= 1/|dataset|",
+                    )
+
+    def _session_has_accountant(self, call: ast.Call) -> bool:
+        for kw in call.keywords:
+            if kw.arg == "accountant" and not (
+                isinstance(kw.value, ast.Constant) and kw.value.value is None
+            ):
+                return True
+        # Positional form UPASession(config, engine, enforcer, accountant).
+        return len(call.args) >= 4
+
+    # -- visitors -----------------------------------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        value = node.value
+        if isinstance(value, ast.Call) and _call_name(value) == "UPASession":
+            charged = self._session_has_accountant(value)
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    (self.charged_sessions if charged
+                     else self.uncharged_sessions).add(target.id)
+                    (self.uncharged_sessions if charged
+                     else self.charged_sessions).discard(target.id)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _call_name(node)
+        if name in ("run", "run_sql", "UPAConfig", "UPASession",
+                    "PrivacyAccountant", "charge", "grouped_query"):
+            self._check_privacy_literals(node)
+        if name in ("run", "run_sql") and isinstance(
+            node.func, ast.Attribute
+        ):
+            receiver = node.func.value
+            if isinstance(receiver, ast.Name) and (
+                receiver.id in self.uncharged_sessions
+            ):
+                self._emit(
+                    "UPA201",
+                    f"{receiver.id}.{name}() releases an output, but "
+                    f"{receiver.id} was constructed without a "
+                    "PrivacyAccountant — the epsilon spend is never "
+                    "charged against a total budget",
+                    node,
+                    hint="pass accountant=PrivacyAccountant("
+                    "total_epsilon=...) to UPASession",
+                )
+            elif isinstance(receiver, ast.Call) and (
+                _call_name(receiver) == "UPASession"
+                and not self._session_has_accountant(receiver)
+            ):
+                self._emit(
+                    "UPA201",
+                    f"UPASession(...).{name}() releases an output from "
+                    "a throwaway session with no PrivacyAccountant",
+                    node,
+                    hint="pass accountant=PrivacyAccountant("
+                    "total_epsilon=...) to UPASession",
+                )
+        if name == "print":
+            for arg in ast.walk(node):
+                if isinstance(arg, ast.Attribute) and (
+                    arg.attr in NON_PRIVATE_FIELDS
+                ):
+                    self._emit(
+                        "UPA203",
+                        f"printing UPAResult.{arg.attr}: this field is "
+                        "evaluation-only and not differentially "
+                        "private; never show it to an analyst",
+                        arg,
+                        hint="release noisy_output / noisy_scalar() "
+                        "only",
+                    )
+        self.generic_visit(node)
+
+
+def check_source(
+    source: str, filename: str = "<string>"
+) -> List[Diagnostic]:
+    """Run the budget-flow pass over Python source text."""
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        return [
+            make_diagnostic(
+                "UPA202",
+                f"could not parse {filename}: {exc.msg}",
+                file=filename,
+                line=exc.lineno or 0,
+                pass_name=PASS,
+                hint="fix the syntax error to enable budget analysis",
+            )
+        ]
+    visitor = _BudgetVisitor(filename)
+    visitor.visit(tree)
+    return visitor.diagnostics
+
+
+def check_file(path: str) -> List[Diagnostic]:
+    """Run the budget-flow pass over one Python file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    try:
+        rel = os.path.relpath(path)
+    except ValueError:
+        rel = path
+    return check_source(source, rel)
+
+
+def iter_python_files(paths: Iterable[str]) -> List[str]:
+    """Expand files/directories into a sorted list of .py files."""
+    found: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = [
+                    d for d in dirs
+                    if d not in ("__pycache__", ".git", ".pytest_cache")
+                ]
+                found.extend(
+                    os.path.join(root, f)
+                    for f in files if f.endswith(".py")
+                )
+        elif path.endswith(".py"):
+            found.append(path)
+    return sorted(found)

@@ -1,0 +1,413 @@
+"""Query-purity pass: AST inspection of MapReduceQuery monoid methods.
+
+UPA's pipeline evaluates ``map_record`` once per record and then reuses
+every mapped element and partial aggregate across ~2n sampled
+neighbouring datasets (prefix/suffix folds, ``R(M(S'))`` reuse).  That
+only computes ``f`` correctly if the monoid methods are *pure*:
+
+* deterministic — no ``random``/``time``/``datetime.now``/``uuid``;
+* stateless — no mutation of ``self``, globals, or closures;
+* non-destructive — ``combine`` must not mutate its arguments in
+  place (the right argument is always borrowed; the left argument is
+  reused by the prefix/suffix folds too);
+* structurally commutative — ``combine`` applying ``-``/``/`` across
+  its two arguments cannot form a commutative monoid.
+
+``build_aux`` additionally must not read the protected table (aux is
+computed once from x, not per neighbour) unless the class explicitly
+declares ``aux_reads_protected = True`` and its semantics stay linear
+in protected records (e.g. KMeans' deterministic center init).
+
+Everything here is best-effort static analysis over
+``inspect.getsource``: methods whose source is unavailable produce an
+``UPA006`` info diagnostic and are skipped, never crash the lint.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import os
+import textwrap
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.query import MapReduceQuery
+from repro.staticcheck.diagnostics import (
+    Diagnostic,
+    Severity,
+    make_diagnostic,
+)
+
+PASS = "purity"
+
+#: monoid methods inspected on every query class.
+MONOID_METHODS = ("map_record", "zero", "combine", "finalize", "build_aux")
+
+#: module roots whose calls are nondeterministic.
+_NONDET_ROOTS = {"random", "uuid", "secrets", "time"}
+
+#: attribute names that read the clock regardless of the module alias.
+_CLOCK_ATTRS = {"now", "utcnow", "today"}
+
+#: method names that mutate their receiver in place.
+_MUTATOR_METHODS = {
+    "append", "extend", "insert", "remove", "pop", "clear", "update",
+    "add", "discard", "setdefault", "popitem", "sort", "reverse",
+    "fill", "resize", "put", "itemset",
+}
+
+#: non-commutative binary operators (commutativity heuristic).
+_NON_COMMUTATIVE_OPS = (
+    ast.Sub, ast.Div, ast.FloorDiv, ast.Mod, ast.Pow,
+    ast.LShift, ast.RShift, ast.MatMult,
+)
+
+
+def _root_name(node: ast.AST) -> Optional[str]:
+    """The base Name id of an Attribute/Subscript chain, if any."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _names_in(node: ast.AST) -> set:
+    return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
+
+
+class _MethodSource:
+    """Parsed source of one method with absolute line mapping."""
+
+    def __init__(self, func, owner_name: str, method_name: str):
+        self.owner_name = owner_name
+        self.method_name = method_name
+        self.func = func
+        raw = inspect.unwrap(func)
+        lines, start = inspect.getsourcelines(raw)
+        self.start_line = start
+        filename = inspect.getsourcefile(raw) or ""
+        try:
+            self.file = os.path.relpath(filename)
+        except ValueError:  # different drive on windows
+            self.file = filename
+        tree = ast.parse(textwrap.dedent("".join(lines)))
+        node = tree.body[0]
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            raise TypeError(f"{method_name} source is not a function def")
+        self.node = node
+        args = list(node.args.posonlyargs) + list(node.args.args)
+        if args and args[0].arg in ("self", "cls"):
+            args = args[1:]
+        self.params = [a.arg for a in args]
+
+    def line_of(self, node: ast.AST) -> int:
+        return self.start_line + getattr(node, "lineno", 1) - 1
+
+    def where(self) -> str:
+        return f"{self.owner_name}.{self.method_name}"
+
+
+def _resolve_method(cls: type, name: str):
+    """The function implementing ``name``, skipping the abstract base.
+
+    Returns None when the class inherits MapReduceQuery's default
+    (raise NotImplementedError / return None) — nothing to analyze.
+    """
+    for klass in cls.__mro__:
+        if klass in (MapReduceQuery, object):
+            return None
+        func = klass.__dict__.get(name)
+        if func is not None:
+            if isinstance(func, (staticmethod, classmethod)):
+                func = func.__func__
+            return func
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Individual checks
+# ---------------------------------------------------------------------------
+
+
+def _check_nondeterminism(src: _MethodSource) -> Iterable[Diagnostic]:
+    for node in ast.walk(src.node):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        reason = None
+        if isinstance(func, ast.Attribute):
+            root = _root_name(func)
+            if root in _NONDET_ROOTS:
+                reason = f"calls {root}.{func.attr}()"
+            elif func.attr in _CLOCK_ATTRS:
+                reason = f"reads the clock via .{func.attr}()"
+            elif func.attr == "urandom" and root == "os":
+                reason = "calls os.urandom()"
+            else:
+                # numpy.random.* through any attribute chain.
+                chain = []
+                probe: ast.AST = func
+                while isinstance(probe, ast.Attribute):
+                    chain.append(probe.attr)
+                    probe = probe.value
+                if isinstance(probe, ast.Name) and "random" in chain and (
+                    probe.id in ("np", "numpy")
+                ):
+                    reason = f"calls {probe.id}.random.{chain[0]}()"
+        if reason:
+            yield make_diagnostic(
+                "UPA001",
+                f"{src.where()} {reason}; monoid methods must be "
+                "deterministic (UPA replays them across ~2n sampled "
+                "neighbouring datasets)",
+                file=src.file,
+                line=src.line_of(node),
+                obj=src.owner_name,
+                hint="move randomness to sample_domain_record() or "
+                "inject it through the dataset, never the monoid",
+                pass_name=PASS,
+            )
+
+
+def _check_state_mutation(src: _MethodSource) -> Iterable[Diagnostic]:
+    for node in ast.walk(src.node):
+        if isinstance(node, (ast.Global, ast.Nonlocal)):
+            kind = "global" if isinstance(node, ast.Global) else "nonlocal"
+            yield make_diagnostic(
+                "UPA002",
+                f"{src.where()} declares `{kind} "
+                f"{', '.join(node.names)}`; monoid methods must not "
+                "write shared state (folds run in any order on any "
+                "partition)",
+                file=src.file,
+                line=src.line_of(node),
+                obj=src.owner_name,
+                hint="thread state through the monoid element or aux",
+                pass_name=PASS,
+            )
+            continue
+        targets: Sequence[ast.AST] = ()
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = (node.target,) if node.target is not None else ()
+        for target in targets:
+            for leaf in ast.walk(target):
+                if isinstance(leaf, (ast.Attribute, ast.Subscript)) and (
+                    _root_name(leaf) == "self"
+                ):
+                    yield make_diagnostic(
+                        "UPA002",
+                        f"{src.where()} assigns to an attribute of "
+                        "self; monoid methods must be stateless",
+                        file=src.file,
+                        line=src.line_of(node),
+                        obj=src.owner_name,
+                        hint="compute in build_aux() (once per run) or "
+                        "carry the value inside the monoid element",
+                        pass_name=PASS,
+                    )
+                    break
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in _MUTATOR_METHODS and isinstance(
+                node.func.value, (ast.Attribute, ast.Subscript)
+            ) and _root_name(node.func.value) == "self":
+                yield make_diagnostic(
+                    "UPA002",
+                    f"{src.where()} calls the mutating method "
+                    f".{node.func.attr}() on an attribute of self",
+                    file=src.file,
+                    line=src.line_of(node),
+                    obj=src.owner_name,
+                    hint="monoid methods must not accumulate into self",
+                    pass_name=PASS,
+                )
+
+
+def _argument_mutations(
+    src: _MethodSource, param: str
+) -> Iterable[Tuple[ast.AST, str]]:
+    """Yield (node, description) for statements that mutate ``param``."""
+    for node in ast.walk(src.node):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)) and (
+                    _root_name(target) == param
+                ):
+                    yield node, f"assigns into `{param}[...]`"
+        elif isinstance(node, ast.AugAssign):
+            target = node.target
+            if isinstance(target, (ast.Attribute, ast.Subscript)) and (
+                _root_name(target) == param
+            ):
+                yield node, f"augments `{param}[...]` in place"
+            elif isinstance(target, ast.Name) and target.id == param:
+                yield node, (
+                    f"augments `{param}` with an in-place operator "
+                    "(mutates lists/ndarrays)"
+                )
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if _root_name(target) == param and isinstance(
+                    target, (ast.Subscript, ast.Attribute)
+                ):
+                    yield node, f"deletes from `{param}`"
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and (
+                func.attr in _MUTATOR_METHODS
+                and _root_name(func.value) == param
+            ):
+                yield node, f"calls `{param}.{func.attr}(...)`"
+            for kw in node.keywords:
+                if kw.arg == "out" and isinstance(kw.value, ast.Name) and (
+                    kw.value.id == param
+                ):
+                    yield node, f"writes into `{param}` via out={param}"
+
+
+def _check_combine(src: _MethodSource) -> Iterable[Diagnostic]:
+    if len(src.params) < 2:
+        return
+    left, right = src.params[0], src.params[1]
+    for node, what in _argument_mutations(src, right):
+        yield make_diagnostic(
+            "UPA003",
+            f"{src.where()} {what}: combine's right argument is always "
+            "borrowed — the union-preserving reduce reuses every mapped "
+            "element across prefix/suffix folds",
+            file=src.file,
+            line=src.line_of(node),
+            obj=src.owner_name,
+            hint="build and return a fresh element "
+            "(e.g. `return a + b`, not `b += a`)",
+            pass_name=PASS,
+        )
+    for node, what in _argument_mutations(src, left):
+        yield make_diagnostic(
+            "UPA003",
+            f"{src.where()} {what}: the prefix/suffix folds also reuse "
+            "left-hand aggregates, so mutating the left argument "
+            "corrupts later neighbour outputs",
+            severity=Severity.WARNING,
+            file=src.file,
+            line=src.line_of(node),
+            obj=src.owner_name,
+            hint="return a fresh element instead of mutating either "
+            "argument",
+            pass_name=PASS,
+        )
+    # Commutativity heuristic: a - b style expressions across params.
+    for node in ast.walk(src.node):
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, _NON_COMMUTATIVE_OPS
+        ):
+            lhs, rhs = _names_in(node.left), _names_in(node.right)
+            crosses = (left in lhs and right in rhs) or (
+                right in lhs and left in rhs
+            )
+            if crosses:
+                op = type(node.op).__name__
+                yield make_diagnostic(
+                    "UPA004",
+                    f"{src.where()} combines its arguments with the "
+                    f"non-commutative operator {op}; the reducer must "
+                    "be a commutative monoid (partial aggregates merge "
+                    "in partition-dependent order)",
+                    file=src.file,
+                    line=src.line_of(node),
+                    obj=src.owner_name,
+                    hint="restructure the element so combine is a sum/"
+                    "max/union; run validate_monoid() to confirm",
+                    pass_name=PASS,
+                )
+
+
+def _check_build_aux(
+    src: _MethodSource, protected: str, declared: bool
+) -> Iterable[Diagnostic]:
+    if not src.params:
+        return
+    tables_param = src.params[0]
+    for node in ast.walk(src.node):
+        hit = False
+        if isinstance(node, ast.Subscript) and isinstance(
+            node.value, ast.Name
+        ) and node.value.id == tables_param:
+            key = node.slice
+            if isinstance(key, ast.Constant) and key.value == protected:
+                hit = bool(protected)
+            elif isinstance(key, ast.Attribute) and (
+                key.attr == "protected_table"
+                and _root_name(key) == "self"
+            ):
+                hit = True
+        elif isinstance(node, ast.Call) and isinstance(
+            node.func, ast.Attribute
+        ) and node.func.attr == "get" and isinstance(
+            node.func.value, ast.Name
+        ) and node.func.value.id == tables_param and node.args:
+            key = node.args[0]
+            if isinstance(key, ast.Constant) and key.value == protected:
+                hit = bool(protected)
+        if hit:
+            severity = Severity.INFO if declared else None
+            suffix = (
+                " (declared via aux_reads_protected=True)"
+                if declared else ""
+            )
+            yield make_diagnostic(
+                "UPA005",
+                f"{src.where()} reads the protected table "
+                f"{protected or 'self.protected_table'!r}{suffix}; aux "
+                "is built once from x, not per neighbour, so the "
+                "query is only sound if it stays linear in protected "
+                "records",
+                severity=severity,
+                file=src.file,
+                line=src.line_of(node),
+                obj=src.owner_name,
+                hint="derive the structure from auxiliary tables, or "
+                "set `aux_reads_protected = True` and document why "
+                "linearity still holds",
+                pass_name=PASS,
+            )
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def check_query(query: Any) -> List[Diagnostic]:
+    """Run the purity pass on a MapReduceQuery instance or class."""
+    cls = query if isinstance(query, type) else type(query)
+    owner = getattr(query, "name", "") or cls.__name__
+    protected = str(getattr(query, "protected_table", "") or "")
+    declared = bool(getattr(query, "aux_reads_protected", False))
+    diagnostics: List[Diagnostic] = []
+    for method_name in MONOID_METHODS:
+        func = _resolve_method(cls, method_name)
+        if func is None:
+            continue
+        try:
+            src = _MethodSource(func, owner, method_name)
+        except (OSError, TypeError, SyntaxError, IndentationError) as exc:
+            diagnostics.append(
+                make_diagnostic(
+                    "UPA006",
+                    f"{owner}.{method_name}: source unavailable "
+                    f"({type(exc).__name__}); purity not verified",
+                    obj=owner,
+                    pass_name=PASS,
+                )
+            )
+            continue
+        diagnostics.extend(_check_nondeterminism(src))
+        diagnostics.extend(_check_state_mutation(src))
+        if method_name == "combine":
+            diagnostics.extend(_check_combine(src))
+        if method_name == "build_aux":
+            diagnostics.extend(_check_build_aux(src, protected, declared))
+    return diagnostics

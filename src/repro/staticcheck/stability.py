@@ -1,0 +1,349 @@
+"""Plan-stability pass: dataflow over :mod:`repro.sql.logical` trees.
+
+*Stability* of an operator (Johnson et al., FLEX) bounds how many output
+rows one protected record can influence.  UPA's supported operator
+matrix (paper Table 2) is exactly the fragment where stability stays
+finite and the plan decomposes into the Mapper/Reducer form the
+pipeline needs:
+
+* ``Scan`` of the protected table — stability 1 (one record, one row);
+* ``Filter`` / ``Project`` — stability preserved;
+* ``Join`` — multiplies stability by the join key's max frequency on
+  the other side (the amplification FLEX's bound magnifies on
+  TPCH16/TPCH21);
+* a single global ``COUNT``/``SUM`` ``Aggregate`` at the root.
+
+Operators outside the matrix on the *protected path* (Sort, Limit,
+Distinct, Union, GROUP BY, nested aggregates, protected self-joins)
+make per-record provenance non-linear: the SQL bridge would reject the
+plan at compile time, and this pass reports the same facts as
+diagnostics *before* anything runs.  Subtrees that never read the
+protected table are static — they are evaluated once and indexed, so
+any operator is fine there.
+
+The pass also cross-checks each workload's declared ``flex_supported``
+flag against the FLEX baseline's actual fragment
+(:func:`repro.baselines.flex.analysis.flex_fragment_reason`), so the
+Table 2 comparison can never silently diverge from reality.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.sql.expr import Column
+from repro.sql.logical import (
+    Aggregate,
+    Distinct,
+    Filter,
+    Join,
+    Limit,
+    LogicalPlan,
+    Project,
+    Scan,
+    Sort,
+    Union,
+)
+from repro.staticcheck.diagnostics import (
+    Diagnostic,
+    Severity,
+    make_diagnostic,
+)
+
+PASS = "plan"
+
+#: operators allowed on the protected path below the aggregate.
+SUPPORTED_BELOW_AGGREGATE = (Scan, Filter, Project, Join)
+
+#: presentation operators allowed above the aggregate.
+PRESENTATION_OPS = (Project, Sort, Limit)
+
+_TABLE2_RATIONALE = (
+    "outside UPA's supported operator matrix (paper Table 2): only "
+    "Scan/Filter/Project/Join trees under a single global COUNT/SUM "
+    "keep per-record provenance linear"
+)
+
+
+@dataclass
+class StabilityReport:
+    """Per-base-table stability bounds computed by the walk.
+
+    ``bounds[t]`` is an upper bound on the number of pre-aggregate rows
+    one record of table ``t`` can influence; ``math.inf`` means the
+    bound is data-dependent (no metadata available, computed join key,
+    or membership-style operator).
+    """
+
+    bounds: Dict[str, float] = field(default_factory=dict)
+    factors: List[str] = field(default_factory=list)
+
+
+def _reads_table(plan: LogicalPlan, table: str) -> bool:
+    return table in plan.base_tables()
+
+
+def _scan_for(node: LogicalPlan, column: str) -> Optional[Scan]:
+    if isinstance(node, Scan):
+        return node if node.schema.has(column) else None
+    for child in node.children():
+        if child.schema.has(column):
+            found = _scan_for(child, column)
+            if found is not None:
+                return found
+    return None
+
+
+def _key_fanout(key, side: LogicalPlan, metadata) -> Optional[float]:
+    """Max frequency of a join key on ``side``; None = data-dependent."""
+    if not isinstance(key, Column):
+        return None
+    scan = _scan_for(side, key.name)
+    if scan is None:
+        return None
+    if metadata is None:
+        return math.inf
+    return float(max(1, metadata.max_frequency(scan.table_name, key.name)))
+
+
+class _PlanWalker:
+    def __init__(self, protected: Optional[str], metadata, obj: str):
+        self.protected = protected
+        self.metadata = metadata
+        self.obj = obj
+        self.diagnostics: List[Diagnostic] = []
+
+    # -- diagnostics helpers ------------------------------------------------
+
+    def _emit(self, code: str, message: str, *, severity=None,
+              hint: str = "") -> None:
+        self.diagnostics.append(
+            make_diagnostic(
+                code, message, severity=severity, obj=self.obj,
+                hint=hint, pass_name=PASS,
+            )
+        )
+
+    def _on_protected_path(self, plan: LogicalPlan) -> bool:
+        if self.protected is None:
+            return True  # no protected table known: check everywhere
+        return _reads_table(plan, self.protected)
+
+    # -- the walk -----------------------------------------------------------
+
+    def walk(self, plan: LogicalPlan) -> StabilityReport:
+        if isinstance(plan, Scan):
+            return StabilityReport(bounds={plan.table_name: 1.0})
+        if isinstance(plan, (Filter, Project)):
+            return self.walk(plan.children()[0])
+        if isinstance(plan, Join):
+            return self._walk_join(plan)
+        if isinstance(plan, (Sort, Limit, Distinct, Union, Aggregate)):
+            if self._on_protected_path(plan):
+                kind = type(plan).__name__
+                detail = {
+                    Sort: "row order depends on every record at once",
+                    Limit: "which rows survive depends on every record",
+                    Distinct: "one record can merge or split result rows",
+                    Union: "UNION mixes provenance across branches",
+                    Aggregate: "a nested aggregate collapses provenance "
+                               "before the final reduce",
+                }[type(plan)]
+                self._emit(
+                    "UPA101",
+                    f"{kind} on the protected path is {_TABLE2_RATIONALE} "
+                    f"({detail})",
+                    hint="move the operator into a static (non-protected)"
+                    " subtree, or use the grouped-query API",
+                )
+            # Static subtree: any operator is fine; still recurse so
+            # nested protected scans are not missed.
+            report = StabilityReport()
+            for child in plan.children():
+                sub = self.walk(child)
+                for table, bound in sub.bounds.items():
+                    report.bounds[table] = math.inf if isinstance(
+                        plan, (Distinct, Union, Aggregate)
+                    ) else bound
+                report.factors.extend(sub.factors)
+            return report
+        self._emit(
+            "UPA101",
+            f"unknown plan operator {type(plan).__name__} is "
+            f"{_TABLE2_RATIONALE}",
+        )
+        return StabilityReport()
+
+    def _walk_join(self, plan: Join) -> StabilityReport:
+        left_report = self.walk(plan.left)
+        right_report = self.walk(plan.right)
+        protected = self.protected
+        if protected is not None and _reads_table(
+            plan.left, protected
+        ) and _reads_table(plan.right, protected):
+            self._emit(
+                "UPA101",
+                f"the protected table {protected!r} appears on both "
+                f"sides of a {plan.how} join (self-join): one record "
+                "can influence rows through both sides, so the query "
+                "is not linear in protected records",
+                hint="rewrite so the protected table is scanned once, "
+                "or protect a different table",
+            )
+
+        report = StabilityReport()
+        report.factors = left_report.factors + right_report.factors
+        for left_key, right_key in plan.keys:
+            left_fanout = _key_fanout(left_key, plan.left, self.metadata)
+            right_fanout = _key_fanout(right_key, plan.right, self.metadata)
+            for key, fanout, side in (
+                (left_key, left_fanout, "left"),
+                (right_key, right_fanout, "right"),
+            ):
+                if fanout is None and not isinstance(key, Column):
+                    self._emit(
+                        "UPA104",
+                        f"join key {key!r} ({side} side) is a computed "
+                        "expression; per-column frequency metadata "
+                        "cannot bound its fan-out",
+                        hint="project the expression into a named "
+                        "column first, or accept a data-dependent "
+                        "stability bound",
+                    )
+
+            def _times(bound: float, fanout: Optional[float]) -> float:
+                if fanout is None or math.isinf(bound):
+                    return math.inf
+                return bound * fanout
+
+            # A record on the left influences <= right-key max-frequency
+            # joined rows, and vice versa (semi/anti: membership of left
+            # rows — right-side influence is unbounded statically).
+            for table, bound in left_report.bounds.items():
+                report.bounds[table] = max(
+                    report.bounds.get(table, 0.0),
+                    _times(bound, right_fanout),
+                )
+            for table, bound in right_report.bounds.items():
+                influence = (
+                    math.inf if plan.how in ("semi", "anti")
+                    else _times(bound, left_fanout)
+                )
+                report.bounds[table] = max(
+                    report.bounds.get(table, 0.0), influence
+                )
+
+            def _show(f: Optional[float]) -> str:
+                if f is None:
+                    return "computed-key"
+                if math.isinf(f):
+                    return "max-freq(data-dependent)"
+                return f"{f:g}"
+
+            factor = (
+                f"join[{plan.how}] {left_key!r} x {right_key!r}: "
+                f"fan-out {_show(left_fanout)} x {_show(right_fanout)}"
+            )
+            report.factors.append(factor)
+            self._emit(
+                "UPA102",
+                f"{factor}; one protected record can influence up to "
+                "that many pre-aggregate rows — the regime where "
+                "FLEX's static bound magnifies (paper Fig. 2a, "
+                "TPCH16/TPCH21) while UPA's sampled inference stays "
+                "accurate",
+            )
+        return report
+
+
+def _strip_presentation(plan: LogicalPlan) -> LogicalPlan:
+    node = plan
+    while isinstance(node, PRESENTATION_OPS):
+        node = node.children()[0]
+    return node
+
+
+def check_plan(
+    plan: LogicalPlan,
+    protected_table: Optional[str] = None,
+    tables: Optional[dict] = None,
+    query_name: str = "",
+    flex_supported: Optional[bool] = None,
+) -> List[Diagnostic]:
+    """Run the plan-stability pass; returns diagnostics (never raises).
+
+    Args:
+        plan: the logical plan to analyze.
+        protected_table: scope matrix checks to the protected path
+            (None = check every operator).
+        tables: optional concrete rows; enables numeric join fan-outs
+            via the FLEX baseline's column metadata.
+        query_name: label used in diagnostics.
+        flex_supported: the workload's declared FLEX flag, cross-checked
+            against the baseline's real fragment when given.
+    """
+    obj = query_name or "plan"
+    metadata = None
+    if tables is not None:
+        from repro.baselines.flex.metadata import TableMetadata
+
+        metadata = TableMetadata(tables)
+    walker = _PlanWalker(protected_table, metadata, obj)
+
+    root = _strip_presentation(plan)
+    if not isinstance(root, Aggregate):
+        walker._emit(
+            "UPA101",
+            "no global aggregate at the plan root: UPA releases a "
+            f"single COUNT/SUM vector and this plan is {_TABLE2_RATIONALE}",
+            hint="wrap the query in SELECT COUNT(*)/SUM(...) or use "
+            "the DataFrame .agg() API",
+        )
+        walker.walk(root)
+    else:
+        if root.group_exprs:
+            walker._emit(
+                "UPA101",
+                f"GROUP BY is {_TABLE2_RATIONALE}; a grouped release "
+                "must charge each group's output explicitly",
+                hint="use repro.core.grouped.grouped_query, which runs "
+                "one UPA slice per group in parallel",
+            )
+        for spec in root.aggregates:
+            if spec.func not in ("count", "sum"):
+                walker._emit(
+                    "UPA101",
+                    f"aggregate {spec.func.upper()} is "
+                    f"{_TABLE2_RATIONALE}: it is not linear in "
+                    "individual records, so one record's contribution "
+                    "cannot be isolated",
+                    hint="COUNT and SUM decompose; MIN/MAX/AVG need a "
+                    "hand-written MapReduceQuery",
+                )
+        walker.walk(root.child)
+
+    # FLEX cross-check (baselines/flex/analysis.py assumptions).
+    if flex_supported is not None:
+        from repro.baselines.flex.analysis import flex_fragment_reason
+
+        reason = flex_fragment_reason(plan)
+        if flex_supported and reason is not None:
+            walker._emit(
+                "UPA103",
+                f"query declares flex_supported=True but FLEX's "
+                f"fragment rejects its plan: {reason}",
+                hint="set flex_supported=False or simplify the plan "
+                "to a single global COUNT over raw-column joins",
+            )
+        elif not flex_supported and reason is None:
+            walker._emit(
+                "UPA103",
+                "query declares flex_supported=False but its plan fits "
+                "FLEX's fragment; the Table 2 comparison could include "
+                "it",
+                severity=Severity.INFO,
+                hint="set flex_supported=True to enable the baseline",
+            )
+    return walker.diagnostics
