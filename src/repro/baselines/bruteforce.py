@@ -71,43 +71,37 @@ def exact_local_sensitivity(
     """
     aux = query.build_aux(tables)
     records = tables[query.protected_table]
-    mapped = [query.map_record(r, aux) for r in records]
+    mapped = query.map_batch(records, aux)
 
-    # Prefix/suffix folds: fold(mapped minus i) in O(N) combines total.
-    prefix = [query.zero()]
-    for m in mapped:
-        prefix.append(query.combine(prefix[-1], m))
-    suffix = [query.zero()]
-    for m in reversed(mapped):
-        suffix.append(query.combine(m, suffix[-1]))
-    suffix.reverse()
-
-    full_agg = prefix[-1]
+    full_agg = query.fold_batch(mapped)
     output = query.finalize(full_agg, aux)
 
+    # Batched prefix/suffix folds: fold(mapped minus i) for all i in one
+    # vectorized pass (O(N) combines; same values as literal re-folds).
     n_removals = len(records)
     if max_removals is not None:
         n_removals = min(n_removals, max_removals)
-    removal_rows: List[np.ndarray] = []
-    for i in range(n_removals):
-        agg = query.combine(prefix[i], suffix[i + 1])
-        removal_rows.append(query.finalize(agg, aux))
-    removal_outputs = (
-        np.vstack(removal_rows)
-        if removal_rows
-        else np.empty((0, query.output_dim))
-    )
+    if n_removals > 0:
+        all_but_one = query.prefix_suffix_batch(mapped)
+        removal_outputs = np.asarray(
+            query.finalize_batch(all_but_one, aux), dtype=float
+        )[:n_removals]
+    else:
+        removal_outputs = np.empty((0, query.output_dim))
 
     rng = make_rng(seed, "bruteforce-additions")
-    addition_rows: List[np.ndarray] = []
-    for _ in range(addition_samples):
-        extra = query.map_record(query.sample_domain_record(rng, tables), aux)
-        addition_rows.append(query.finalize(query.combine(full_agg, extra), aux))
-    addition_outputs = (
-        np.vstack(addition_rows)
-        if addition_rows
-        else np.empty((0, query.output_dim))
-    )
+    added_records: List = [
+        query.sample_domain_record(rng, tables)
+        for _ in range(addition_samples)
+    ]
+    if added_records:
+        extras = query.map_batch(added_records, aux)
+        addition_outputs = np.asarray(
+            query.finalize_batch(query.combine_batch(full_agg, extras), aux),
+            dtype=float,
+        )
+    else:
+        addition_outputs = np.empty((0, query.output_dim))
 
     neighbours = (
         np.vstack([removal_outputs, addition_outputs])

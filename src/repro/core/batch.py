@@ -1,0 +1,91 @@
+"""Vectorized batch kernels shared by the built-in workloads.
+
+The batched monoid protocol (:class:`repro.core.query.MapReduceQuery`)
+defaults to looping over the scalar methods; this module supplies the
+numpy kernels the hot paths actually run:
+
+* :func:`leave_one_out` — the prefix/suffix fold trick as two cumulative
+  sums, so all n "fold everything except element i" aggregates cost a
+  few array passes instead of 2n Python-level combines;
+* :class:`ScalarSumBatch` — a drop-in mixin implementing the whole
+  batched protocol for any query whose monoid is scalar addition (the
+  seven TPC-H queries, every sqlbridge-compiled COUNT/SUM, grouped
+  per-group queries).
+
+Kernel equivalence is a correctness surface, not a nicety: UPA's
+released outputs flow through these folds, so the kernels reproduce the
+*same association order* as the scalar path (``np.cumsum`` accumulates
+sequentially, exactly like the Python prefix/suffix loops).  The
+batched results are therefore bitwise-identical for sum monoids — the
+golden-regression seeds do not move — and ``validate_monoid`` plus the
+UPA010 lint guard the contract for third-party kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.query import Row
+
+
+def leave_one_out(stacked: np.ndarray) -> np.ndarray:
+    """All-but-one sequential sums of ``stacked`` along axis 0.
+
+    ``out[i] = fold(stacked minus row i)`` where the fold is the same
+    left-to-right (prefix) and right-to-left (suffix) accumulation the
+    scalar prefix/suffix loops perform, so results match them bitwise.
+    """
+    stacked = np.asarray(stacked)
+    n = stacked.shape[0]
+    if n == 0:
+        return stacked.copy()
+    zeros = np.zeros((1,) + stacked.shape[1:], dtype=stacked.dtype)
+    forward = np.cumsum(stacked, axis=0)
+    prefix = np.concatenate([zeros, forward[:-1]], axis=0)
+    backward = np.cumsum(stacked[::-1], axis=0)[::-1]
+    suffix = np.concatenate([backward[1:], zeros], axis=0)
+    return prefix + suffix
+
+
+def sequential_sum(stacked: np.ndarray, zero: Any) -> Any:
+    """Fold a stacked batch along axis 0 in sequential (cumsum) order.
+
+    ``np.sum`` uses pairwise accumulation, which is *not* bitwise equal
+    to the scalar fold; ``np.cumsum`` is, and the last entry is the
+    full fold.
+    """
+    stacked = np.asarray(stacked)
+    if stacked.shape[0] == 0:
+        return zero
+    return np.cumsum(stacked, axis=0)[-1]
+
+
+class ScalarSumBatch:
+    """Batched protocol for queries whose monoid is scalar ``+``.
+
+    Mix into any :class:`~repro.core.query.MapReduceQuery` subclass with
+    ``zero() == 0.0`` and ``combine(a, b) == a + b``; the batch layout
+    is a float64 ndarray of shape ``(n,)``.  ``map_batch`` still calls
+    ``map_record`` per row (mappers are usually aux-lookup bound);
+    subclasses with columnar inputs override it (see TPC-H Q1/Q6).
+    """
+
+    def map_batch(self, records: Sequence[Row], aux: Any) -> np.ndarray:
+        return np.asarray(
+            [self.map_record(record, aux) for record in records], dtype=float
+        )
+
+    def prefix_suffix_batch(self, elements: Any) -> np.ndarray:
+        return leave_one_out(np.asarray(elements, dtype=float))
+
+    def combine_batch(self, agg: Any, elements: Any) -> np.ndarray:
+        return float(agg) + np.asarray(elements, dtype=float)
+
+    def finalize_batch(self, aggs: Any, aux: Any) -> np.ndarray:
+        return np.asarray(aggs, dtype=float).reshape(-1, 1)
+
+    def fold_batch(self, elements: Any) -> float:
+        total = sequential_sum(np.asarray(elements, dtype=float), 0.0)
+        return float(total)

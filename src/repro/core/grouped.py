@@ -24,6 +24,7 @@ from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence
 import numpy as np
 
 from repro.common.errors import DPError
+from repro.core.batch import ScalarSumBatch
 from repro.core.query import MapReduceQuery, Row, Tables
 from repro.core.session import UPAConfig, UPASession
 
@@ -31,7 +32,7 @@ GroupOf = Callable[[Row], Hashable]
 ValueOf = Callable[[Row], float]
 
 
-class GroupSliceQuery(MapReduceQuery):
+class GroupSliceQuery(ScalarSumBatch, MapReduceQuery):
     """A scalar query restricted to one group of the protected table."""
 
     output_dim = 1

@@ -32,6 +32,31 @@ from repro.common.errors import QueryShapeError
 Row = Dict[str, Any]
 Tables = Dict[str, List[Row]]
 
+#: the batched-protocol methods a query may override with vectorized
+#: kernels.  ``overrides_batch_kernels`` and the upalint purity pass
+#: both key off this tuple.
+BATCH_METHODS = (
+    "map_batch",
+    "prefix_suffix_batch",
+    "combine_batch",
+    "finalize_batch",
+    "fold_batch",
+)
+
+
+def overrides_batch_kernels(query_or_cls: Any) -> bool:
+    """True when the class overrides any batched-protocol method.
+
+    Used by ``validate_monoid`` (to decide whether the batch kernels
+    need a cross-check against the scalar monoid) and by the static
+    analyzer.
+    """
+    cls = query_or_cls if isinstance(query_or_cls, type) else type(query_or_cls)
+    return any(
+        getattr(cls, name) is not getattr(MapReduceQuery, name)
+        for name in BATCH_METHODS
+    )
+
 
 class QueryOutput:
     """Normalizes query outputs to float vectors.
@@ -106,6 +131,122 @@ class MapReduceQuery:
         raise NotImplementedError
 
     # ------------------------------------------------------------------
+    # Batched monoid protocol
+    # ------------------------------------------------------------------
+    #
+    # The session's union-preserving reduce evaluates ~2n sampled
+    # neighbouring datasets per run; one Python-level combine+finalize
+    # per neighbour makes interpreter dispatch the dominant cost.  The
+    # batched protocol lets a query process *all* neighbours with a
+    # handful of array operations instead.
+    #
+    # A **batch** is an opaque, ordered collection of monoid elements
+    # (or aggregates — same representation).  The canonical layouts are:
+    #
+    # * a plain list of scalar elements (the generic default);
+    # * a stacked ndarray with the batch on axis 0 (scalar-sum queries:
+    #   shape ``(n,)``);
+    # * a tuple of stacked ndarrays, one per slot of a tuple element
+    #   (KMeans: ``(counts (n, k), sums (n, k, dim))``).
+    #
+    # The structural helpers (batch_length/batch_select/iter_batch/
+    # batch_stack) understand all three layouts, so a subclass normally
+    # overrides only the kernels in ``BATCH_METHODS``.  Every default
+    # below loops over the scalar methods, so existing queries keep
+    # working unchanged; overridden kernels must return values
+    # ``allclose`` to the scalar path (guarded by ``validate_monoid``
+    # and upalint's UPA010).
+
+    def map_batch(self, records: Sequence[Row], aux: Any) -> Any:
+        """Mapper over a record sequence -> batch of monoid elements."""
+        return [self.map_record(record, aux) for record in records]
+
+    def prefix_suffix_batch(self, elements: Any) -> Any:
+        """Leave-one-out aggregates via prefix/suffix folds.
+
+        Returns a batch of n aggregates where the i-th aggregate folds
+        every element except the i-th — the reduce-side core of both
+        removal-neighbour evaluation and brute-force sensitivity.
+        """
+        items = list(self.iter_batch(elements))
+        prefix = [self.zero()]
+        for element in items:
+            prefix.append(self.combine(prefix[-1], element))
+        suffix = [self.zero()]
+        for element in reversed(items):
+            suffix.append(self.combine(element, suffix[-1]))
+        suffix.reverse()
+        return self.batch_stack(
+            [
+                self.combine(prefix[i], suffix[i + 1])
+                for i in range(len(items))
+            ]
+        )
+
+    def combine_batch(self, agg: Any, elements: Any) -> Any:
+        """Broadcasted combine: ``agg (+) e`` for every batch element."""
+        return self.batch_stack(
+            [self.combine(agg, element) for element in self.iter_batch(elements)]
+        )
+
+    def finalize_batch(self, aggs: Any, aux: Any) -> np.ndarray:
+        """Finalize a batch of aggregates into a (k, output_dim) array."""
+        rows = [self.finalize(agg, aux) for agg in self.iter_batch(aggs)]
+        if not rows:
+            return np.empty((0, self.output_dim))
+        return np.vstack(rows)
+
+    def fold_batch(self, elements: Any) -> Any:
+        """Fold a whole batch into one aggregate."""
+        return self.fold(self.iter_batch(elements))
+
+    # -- structural batch helpers (layout-aware, rarely overridden) ----
+
+    def batch_length(self, elements: Any) -> int:
+        """Number of elements in a batch."""
+        if isinstance(elements, tuple):
+            return len(elements[0]) if elements else 0
+        return len(elements)
+
+    def batch_select(self, elements: Any, indices: Sequence[int]) -> Any:
+        """Sub-batch at ``indices`` (order preserved, same layout)."""
+        if isinstance(elements, tuple):
+            return tuple(self._select_part(part, indices) for part in elements)
+        return self._select_part(elements, indices)
+
+    @staticmethod
+    def _select_part(part: Any, indices: Sequence[int]) -> Any:
+        if isinstance(part, np.ndarray):
+            return part[np.asarray(indices, dtype=int)]
+        return [part[i] for i in indices]
+
+    def iter_batch(self, elements: Any) -> Iterable[Any]:
+        """Yield the scalar monoid elements of a batch, in order."""
+        if isinstance(elements, tuple):
+            n = self.batch_length(elements)
+            return (tuple(part[i] for part in elements) for i in range(n))
+        return iter(elements)
+
+    def batch_stack(self, aggs: List[Any]) -> Any:
+        """Stack driver-side elements/aggregates into a batch.
+
+        Inverse of :meth:`iter_batch` for the canonical layouts; exotic
+        element types fall back to a plain list (a query overriding the
+        vectorized kernels for such a type should override this too).
+        """
+        if not aggs:
+            return aggs
+        first = aggs[0]
+        if isinstance(first, tuple):
+            return tuple(
+                np.stack([np.asarray(agg[j], dtype=float) for agg in aggs])
+                for j in range(len(first))
+            )
+        if isinstance(first, np.ndarray) or np.isscalar(first):
+            return np.stack([np.asarray(agg, dtype=float) for agg in aggs])
+        return list(aggs)
+
+    # ------------------------------------------------------------------
     # Neighbour-record sampling ("records in D but not in x")
     # ------------------------------------------------------------------
 
@@ -172,6 +313,50 @@ class MapReduceQuery:
                 raise QueryShapeError(
                     f"query {self.name!r}: reducer is not associative"
                 )
+        if overrides_batch_kernels(self):
+            self._validate_batch_kernels(chosen, aux)
+
+    def _validate_batch_kernels(self, records: List[Row], aux: Any) -> None:
+        """Cross-check overridden batch kernels against the scalar path.
+
+        The scalar reference is the base-class default implementation
+        (which loops over map_record/combine/finalize), so a subclass
+        kernel that diverges from its own scalar monoid is caught here
+        even when both are internally consistent.
+        """
+        base = MapReduceQuery
+        batch = self.map_batch(records, aux)
+        ref_batch = base.map_batch(self, records, aux)
+        n = self.batch_length(batch)
+        if n != len(ref_batch):
+            raise QueryShapeError(
+                f"query {self.name!r}: map_batch returned {n} elements "
+                f"for {len(ref_batch)} records"
+            )
+        total = self.finalize(self.fold_batch(batch), aux)
+        ref_total = self.finalize(base.fold_batch(self, ref_batch), aux)
+        if not np.allclose(total, ref_total):
+            raise QueryShapeError(
+                f"query {self.name!r}: map_batch/fold_batch disagree "
+                "with the scalar map_record/fold path"
+            )
+        loo = self.finalize_batch(
+            self.combine_batch(self.zero(), self.prefix_suffix_batch(batch)),
+            aux,
+        )
+        ref_loo = base.finalize_batch(
+            self,
+            base.combine_batch(
+                self, self.zero(), base.prefix_suffix_batch(self, ref_batch)
+            ),
+            aux,
+        )
+        if loo.shape != ref_loo.shape or not np.allclose(loo, ref_loo):
+            raise QueryShapeError(
+                f"query {self.name!r}: batched neighbour kernels "
+                "(prefix_suffix_batch/combine_batch/finalize_batch) "
+                "disagree with the scalar prefix/suffix fold path"
+            )
 
     def __repr__(self) -> str:
         return (

@@ -126,47 +126,73 @@ class UPAResult:
         return float(np.asarray(self.noisy_output).reshape(-1)[0])
 
 
-class _PipelineState:
-    """Mutable reduce-side state shared with RANGE ENFORCER's callbacks."""
+@dataclass
+class _ReducedRun:
+    """Everything the shared run/infer_sensitivity preamble produces."""
 
-    def __init__(self, session: "UPASession", query: MapReduceQuery, aux: Any,
-                 r_sprime_parts: List[Any], mapped_samples: List[Any],
+    state: "_PipelineState"
+    removal: np.ndarray
+    addition: np.ndarray
+    plain: np.ndarray
+    population: int
+    sample: PartitionedSample
+
+    @property
+    def neighbours(self) -> np.ndarray:
+        return np.vstack([self.removal, self.addition])
+
+
+class _PipelineState:
+    """Mutable reduce-side state shared with RANGE ENFORCER's callbacks.
+
+    ``mapped_samples`` is a *batch* in the query's batched-monoid
+    layout (see :class:`~repro.core.query.MapReduceQuery`); all folds
+    go through the batched protocol so vectorized kernels apply to the
+    enforcement callbacks too.
+    """
+
+    def __init__(self, query: MapReduceQuery, aux: Any,
+                 r_sprime_parts: List[Any], mapped_samples: Any,
                  sample_partitions: List[int], rng: random.Random):
         self._query = query
         self._aux = aux
         self._r_sprime_parts = r_sprime_parts
-        self._mapped = list(mapped_samples)
+        self._mapped = mapped_samples
         self._parts = list(sample_partitions)
         self._rng = rng
 
     def _fold_samples_in(self, partition: int) -> Any:
-        return self._query.fold(
-            m for m, p in zip(self._mapped, self._parts) if p == partition
-        )
+        query = self._query
+        indices = [i for i, p in enumerate(self._parts) if p == partition]
+        return query.fold_batch(query.batch_select(self._mapped, indices))
 
     def partition_outputs(self) -> Tuple[np.ndarray, np.ndarray]:
-        outs = []
-        for p in range(2):
-            agg = self._query.combine(
-                self._r_sprime_parts[p], self._fold_samples_in(p)
-            )
-            outs.append(self._query.finalize(agg, self._aux))
-        return (outs[0], outs[1])
+        query = self._query
+        aggs = [
+            query.combine(self._r_sprime_parts[p], self._fold_samples_in(p))
+            for p in range(2)
+        ]
+        outs = query.finalize_batch(query.batch_stack(aggs), self._aux)
+        return (np.asarray(outs[0]), np.asarray(outs[1]))
 
     def final_aggregate(self) -> Any:
-        agg = self._query.combine(self._r_sprime_parts[0], self._r_sprime_parts[1])
-        return self._query.combine(agg, self._query.fold(self._mapped))
+        query = self._query
+        agg = query.combine(self._r_sprime_parts[0], self._r_sprime_parts[1])
+        return query.combine(agg, query.fold_batch(self._mapped))
 
     def final_output(self) -> np.ndarray:
         return self._query.finalize(self.final_aggregate(), self._aux)
 
     def remove_two_records(self) -> bool:
-        if len(self._mapped) < 2:
+        query = self._query
+        if query.batch_length(self._mapped) < 2:
             return False
+        keep = list(range(query.batch_length(self._mapped)))
         for _ in range(2):
-            idx = self._rng.randrange(len(self._mapped))
-            del self._mapped[idx]
+            idx = self._rng.randrange(len(keep))
+            del keep[idx]
             del self._parts[idx]
+        self._mapped = query.batch_select(self._mapped, keep)
         return True
 
 
@@ -236,28 +262,20 @@ class UPASession:
             delta = self.config.delta if self.config.mechanism == "gaussian" else 0.0
             self.accountant.charge(epsilon, delta=delta, label=query.name)
 
-        self._run_counter += 1
-        rng = make_rng(self.config.seed, f"upa-run-{self._run_counter}")
         metrics_before = self.engine.metrics.snapshot()
 
         with Timer() as timer:
-            sample = partition_and_sample(
-                query, tables, self.config.sample_size, rng
-            )
-            aux = query.build_aux(tables)
-            state, removal, addition, plain = self._reduce_phase(
-                query, aux, sample, rng
-            )
-            population = len(tables[query.protected_table]) + sample.sample_size
-            neighbours = np.vstack([removal, addition])
+            reduced = self._sample_and_reduce(query, tables)
+            neighbours = reduced.neighbours
             inferred = infer_output_range(
-                neighbours, population, self.config.inference
+                neighbours, reduced.population, self.config.inference
             )
             estimated_ls = infer_local_sensitivity(
-                neighbours, plain, population, self.config.inference
+                neighbours, reduced.plain, reduced.population,
+                self.config.inference,
             )
-            partition_outputs = state.partition_outputs()
-            enforcement = self.enforcer.enforce(state, inferred)
+            partition_outputs = reduced.state.partition_outputs()
+            enforcement = self.enforcer.enforce(reduced.state, inferred)
             noisy = self._randomize(
                 enforcement.output, inferred.local_sensitivity, epsilon
             )
@@ -266,16 +284,16 @@ class UPASession:
         result = UPAResult(
             noisy_output=np.asarray(noisy, dtype=float).reshape(-1),
             raw_output=enforcement.output,
-            plain_output=plain,
+            plain_output=reduced.plain,
             local_sensitivity=inferred.local_sensitivity,
             estimated_local_sensitivity=estimated_ls,
             inferred_range=inferred,
-            removal_outputs=removal,
-            addition_outputs=addition,
+            removal_outputs=reduced.removal,
+            addition_outputs=reduced.addition,
             partition_outputs=partition_outputs,
             enforcement=enforcement,
             epsilon=epsilon,
-            sample_size=sample.sample_size,
+            sample_size=reduced.sample.sample_size,
             elapsed_seconds=timer.elapsed,
             metrics=metrics,
         )
@@ -379,16 +397,35 @@ class UPASession:
         Used by the accuracy benchmarks; does not register the query
         with RANGE ENFORCER and spends no budget.
         """
+        reduced = self._sample_and_reduce(query, tables)
+        return infer_output_range(
+            reduced.neighbours, reduced.population, self.config.inference
+        )
+
+    def _sample_and_reduce(self, query: MapReduceQuery,
+                           tables: Tables) -> _ReducedRun:
+        """Shared preamble of :meth:`run` and :meth:`infer_sensitivity`.
+
+        Draws the per-run RNG, partitions & samples, builds aux, and
+        runs the union-preserving reduce phase.
+        """
         self._run_counter += 1
         rng = make_rng(self.config.seed, f"upa-run-{self._run_counter}")
-        sample = partition_and_sample(query, tables, self.config.sample_size, rng)
+        sample = partition_and_sample(
+            query, tables, self.config.sample_size, rng
+        )
         aux = query.build_aux(tables)
-        _state, removal, addition, _plain = self._reduce_phase(
+        state, removal, addition, plain = self._reduce_phase(
             query, aux, sample, rng
         )
         population = len(tables[query.protected_table]) + sample.sample_size
-        return infer_output_range(
-            np.vstack([removal, addition]), population, self.config.inference
+        return _ReducedRun(
+            state=state,
+            removal=removal,
+            addition=addition,
+            plain=plain,
+            population=population,
+            sample=sample,
         )
 
     def _randomize(self, value, sensitivity: float, epsilon: float):
@@ -434,16 +471,13 @@ class UPASession:
             )
         r_sprime = query.combine(r_sprime_parts[0], r_sprime_parts[1])
 
-        mapped_s = (
-            self.engine.parallelize(sample.sampled, 1).map(mapper).collect()
-            if sample.sampled else []
-        )
-        mapped_sbar = (
-            self.engine.parallelize(sample.domain_samples, 1).map(mapper).collect()
-            if sample.domain_samples else []
-        )
+        # S and S-bar are small (n records each) and already live on the
+        # driver, so they go through the batched mapper directly — one
+        # vectorized call instead of an engine round-trip per batch.
+        mapped_s = query.map_batch(sample.sampled, aux)
+        mapped_sbar = query.map_batch(sample.domain_samples, aux)
 
-        fold_s = query.fold(mapped_s)
+        fold_s = query.fold_batch(mapped_s)
         f_x_agg = query.combine(r_sprime, fold_s)
         plain = query.finalize(f_x_agg, aux)
 
@@ -455,50 +489,52 @@ class UPASession:
             removal = self._removal_outputs_naive(
                 query, aux, sample, mapped_s, mapper
             )
-        addition = np.vstack(
-            [
-                query.finalize(query.combine(f_x_agg, m), aux)
-                for m in mapped_sbar
-            ]
-        ) if mapped_sbar else np.empty((0, query.output_dim))
+        if query.batch_length(mapped_sbar) > 0:
+            addition = np.asarray(
+                query.finalize_batch(
+                    query.combine_batch(f_x_agg, mapped_sbar), aux
+                ),
+                dtype=float,
+            )
+        else:
+            addition = np.empty((0, query.output_dim))
 
         state = _PipelineState(
-            self, query, aux, r_sprime_parts, mapped_s,
+            query, aux, r_sprime_parts, mapped_s,
             sample.sampled_partitions, rng,
         )
         return state, removal, addition, plain
 
     def _removal_outputs_reused(
         self, query: MapReduceQuery, aux: Any, r_sprime: Any,
-        mapped_s: List[Any],
+        mapped_s: Any,
     ) -> np.ndarray:
-        """o_i = finalize(R(S') + fold(S - s_i)) via prefix/suffix folds."""
-        n = len(mapped_s)
+        """o_i = finalize(R(S') + fold(S - s_i)) via prefix/suffix folds.
+
+        ``mapped_s`` is a batch; the all-but-one folds, the combine with
+        R(S') and the n finalizations all run through the query's
+        batched kernels (vectorized for the built-in workloads).
+        """
+        n = query.batch_length(mapped_s)
         if n == 0:
             return np.empty((0, query.output_dim))
-        prefix = [query.zero()]
-        for m in mapped_s:
-            prefix.append(query.combine(prefix[-1], m))
-        suffix = [query.zero()]
-        for m in reversed(mapped_s):
-            suffix.append(query.combine(m, suffix[-1]))
-        suffix.reverse()
-        rows = []
-        for i in range(n):
-            all_but_i = query.combine(prefix[i], suffix[i + 1])
-            rows.append(
-                query.finalize(query.combine(r_sprime, all_but_i), aux)
-            )
-        return np.vstack(rows)
+        all_but_one = query.prefix_suffix_batch(mapped_s)
+        outputs = query.finalize_batch(
+            query.combine_batch(r_sprime, all_but_one), aux
+        )
+        return np.asarray(outputs, dtype=float)
 
     def _removal_outputs_naive(
         self, query: MapReduceQuery, aux: Any, sample: PartitionedSample,
-        mapped_s: List[Any], mapper,
+        mapped_s: Any, mapper,
     ) -> np.ndarray:
         """Ablation: re-reduce the whole dataset for every neighbour.
 
         Mapping is still done once (the reuse claim is about the
-        *reduce* side); each neighbour re-folds all |x| - 1 elements.
+        *reduce* side); each neighbour re-folds all |x| - 1 elements —
+        deliberately through the scalar monoid, element by element, to
+        measure what the union-preserving reuse (and its batched
+        kernels) buys.
         """
         all_mapped = []
         for p in range(2):
@@ -507,9 +543,9 @@ class UPASession:
             )
             all_mapped.extend(rdd.map(mapper).collect())
         base_count = len(all_mapped)
-        all_mapped.extend(mapped_s)
+        all_mapped.extend(query.iter_batch(mapped_s))
         rows = []
-        for i in range(len(mapped_s)):
+        for i in range(len(all_mapped) - base_count):
             skip = base_count + i
             agg = query.fold(
                 m for j, m in enumerate(all_mapped) if j != skip

@@ -44,6 +44,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.common.errors import QueryShapeError
+from repro.core.batch import ScalarSumBatch
 from repro.core.query import MapReduceQuery, Row, Tables
 from repro.sql.expr import Expression
 from repro.sql.functions import AggregateSpec
@@ -326,13 +327,15 @@ def _find_aggregate(plan: LogicalPlan) -> Tuple[Aggregate, LogicalPlan]:
     return node, node.child
 
 
-class CompiledSQLQuery(MapReduceQuery):
+class CompiledSQLQuery(ScalarSumBatch, MapReduceQuery):
     """A MapReduceQuery derived from a SQL plan by provenance analysis.
 
     The compiled static structures are built from the tables given at
     compile time; neighbouring datasets may vary the *protected* table
     freely (that is the whole point), but the other tables are fixed —
-    the same assumption every hand-written workload makes.
+    the same assumption every hand-written workload makes.  COUNT/SUM
+    reducers are scalar addition, so the vectorized batch kernels come
+    from :class:`~repro.core.batch.ScalarSumBatch`.
     """
 
     output_dim = 1

@@ -101,3 +101,24 @@ class EngineContext:
     def clear_shuffle_state(self) -> None:
         """Drop stored shuffle outputs (frees memory between experiments)."""
         self.shuffle_manager.clear()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def stop(self) -> None:
+        """Release engine resources (idempotent).
+
+        Shuts down the scheduler's persistent worker pool and drops
+        stored shuffle outputs.  The context remains usable: a later
+        job lazily recreates the pool, mirroring how ``SparkContext``
+        users call ``stop()`` when an application finishes.
+        """
+        self.scheduler.shutdown()
+        self.shuffle_manager.clear()
+
+    def __enter__(self) -> "EngineContext":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

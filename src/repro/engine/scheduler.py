@@ -10,10 +10,18 @@ reproduction depends on:
   side-effect free;
 * **optional thread pool** so concurrency bugs (ordering assumptions,
   shared state) surface in tests.
+
+The thread pool is **persistent**: one executor per scheduler, created
+lazily on the first threaded job and reused for every job after it.
+Spawning a pool per job costs thread creation/teardown on every engine
+round-trip — measurable when a session issues thousands of small jobs.
+``EngineContext.stop()`` shuts the pool down; a later job transparently
+recreates it.
 """
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, Iterator, List, Optional, Sequence, TypeVar
 
@@ -44,6 +52,34 @@ class TaskScheduler:
         self.fault_injector: Optional[FaultInjector] = None
         self.job_listener: Optional[JobListener] = None
         self._stage_ids = iter(range(1, 1 << 62))
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+        # True while the current thread is executing a task.  Nested
+        # jobs (e.g. a shuffle materializing its parent from inside a
+        # ShuffledRDD task) must run inline: handing them to the shared
+        # pool could deadlock once outer tasks occupy every worker.
+        self._local = threading.local()
+
+    def _executor(self) -> ThreadPoolExecutor:
+        """The persistent pool, created lazily on first threaded job."""
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self._max_workers,
+                    thread_name_prefix="repro-task",
+                )
+            return self._pool
+
+    def shutdown(self) -> None:
+        """Shut the persistent pool down (idempotent).
+
+        Jobs submitted afterwards lazily recreate the pool, so a
+        stopped scheduler degrades gracefully instead of erroring.
+        """
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def run_job(
         self,
@@ -57,6 +93,9 @@ class TaskScheduler:
         """
         if partitions is None:
             partitions = range(rdd.num_partitions)
+        # Normalize once: callers may pass any iterable (including a
+        # generator), and we iterate it twice (len + map) below.
+        partitions = tuple(partitions)
         stage_id = next(self._stage_ids)
         self._metrics.incr(MetricsRegistry.JOBS)
         attempts_before = self._metrics.get(MetricsRegistry.TASKS) + \
@@ -65,10 +104,10 @@ class TaskScheduler:
         def run_one(split: int) -> U:
             return self._run_task(rdd, func, stage_id, split)
 
+        in_task = getattr(self._local, "in_task", False)
         with Timer() as timer:
-            if self._use_threads and len(partitions) > 1:
-                with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
-                    results = list(pool.map(run_one, partitions))
+            if self._use_threads and len(partitions) > 1 and not in_task:
+                results = list(self._executor().map(run_one, partitions))
             else:
                 results = [run_one(split) for split in partitions]
         if self.job_listener is not None:
@@ -89,16 +128,23 @@ class TaskScheduler:
     def _run_task(
         self, rdd, func: Callable[[Iterator[T]], U], stage_id: int, split: int
     ) -> U:
-        attempts = 0
-        while True:
-            attempts += 1
-            try:
-                if self.fault_injector is not None:
-                    self.fault_injector.maybe_fail(stage_id, split, attempts)
-                result = func(rdd.iterator(split))
-                self._metrics.incr(MetricsRegistry.TASKS)
-                return result
-            except InjectedFault as fault:
-                self._metrics.incr(MetricsRegistry.TASK_RETRIES)
-                if attempts > self._max_retries:
-                    raise TaskFailedError(stage_id, split, attempts, fault) from fault
+        previously_in_task = getattr(self._local, "in_task", False)
+        self._local.in_task = True
+        try:
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    if self.fault_injector is not None:
+                        self.fault_injector.maybe_fail(stage_id, split, attempts)
+                    result = func(rdd.iterator(split))
+                    self._metrics.incr(MetricsRegistry.TASKS)
+                    return result
+                except InjectedFault as fault:
+                    self._metrics.incr(MetricsRegistry.TASK_RETRIES)
+                    if attempts > self._max_retries:
+                        raise TaskFailedError(
+                            stage_id, split, attempts, fault
+                        ) from fault
+        finally:
+            self._local.in_task = previously_in_task

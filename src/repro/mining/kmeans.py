@@ -17,10 +17,11 @@ notes the KMeans distribution is nearly identical to LR's).
 from __future__ import annotations
 
 import random
-from typing import Any, Optional, Tuple
+from typing import Any, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.batch import leave_one_out, sequential_sum
 from repro.core.query import MapReduceQuery, Row, Tables
 from repro.mining.datasets import LifeScienceConfig, domain_point
 
@@ -108,6 +109,56 @@ class KMeansQuery(MapReduceQuery):
             if counts[k] > 0:
                 centers[k] = sums[k] / counts[k]
         return centers.reshape(-1)
+
+    # -- batched kernels -----------------------------------------------------
+    # Batch layout: (counts (n, k), sums (n, k, dim)).
+
+    def map_batch(self, records: Sequence[Row], aux: np.ndarray
+                  ) -> Tuple[np.ndarray, np.ndarray]:
+        n = len(records)
+        counts = np.zeros((n, self.num_clusters))
+        sums = np.zeros((n, self.num_clusters, self.dim))
+        if n == 0:
+            return (counts, sums)
+        points = np.asarray([r["features"] for r in records], dtype=float)
+        diffs = points[:, None, :] - np.asarray(aux, dtype=float)[None, :, :]
+        distances = np.sqrt(np.sum(diffs * diffs, axis=-1))
+        nearest = np.argmin(distances, axis=1)
+        rows = np.arange(n)
+        counts[rows, nearest] = 1.0
+        sums[rows, nearest] = points
+        return (counts, sums)
+
+    def prefix_suffix_batch(self, elements):
+        counts, sums = elements
+        return (leave_one_out(counts), leave_one_out(sums))
+
+    def combine_batch(self, agg, elements):
+        counts, sums = elements
+        return (
+            np.asarray(agg[0], dtype=float) + counts,
+            np.asarray(agg[1], dtype=float) + sums,
+        )
+
+    def finalize_batch(self, aggs, aux: np.ndarray) -> np.ndarray:
+        counts, sums = aggs
+        counts = np.asarray(counts, dtype=float)
+        sums = np.asarray(sums, dtype=float)
+        n = counts.shape[0]
+        if n == 0:
+            return np.empty((0, self.output_dim))
+        centers = np.broadcast_to(
+            np.asarray(aux, dtype=float), (n, self.num_clusters, self.dim)
+        ).copy()
+        occupied = counts > 0
+        centers[occupied] = sums[occupied] / counts[occupied][:, None]
+        return centers.reshape(n, -1)
+
+    def fold_batch(self, elements):
+        counts, sums = elements
+        if counts.shape[0] == 0:
+            return self.zero()
+        return (sequential_sum(counts, None), sequential_sum(sums, None))
 
     def sample_domain_record(self, rng: random.Random, tables: Tables) -> Row:
         return domain_point(rng, self._dataset_config)

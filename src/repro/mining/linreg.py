@@ -17,12 +17,19 @@ per-coordinate output range and uses the L1 width as sensitivity.
 from __future__ import annotations
 
 import random
-from typing import Any, Optional, Tuple
+from typing import Any, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.batch import leave_one_out, sequential_sum
 from repro.core.query import MapReduceQuery, Row, Tables
 from repro.mining.datasets import LifeScienceConfig, domain_point
+
+
+def extended_features(records: Sequence[Row]) -> np.ndarray:
+    """Stack records' feature vectors with the bias column appended."""
+    features = np.asarray([r["features"] for r in records], dtype=float)
+    return np.concatenate([features, np.ones((len(records), 1))], axis=1)
 
 
 class LinearRegressionQuery(MapReduceQuery):
@@ -75,6 +82,55 @@ class LinearRegressionQuery(MapReduceQuery):
         if count == 0:
             return aux.copy()
         return aux - self.learning_rate * grad_sum / count
+
+    # -- batched kernels -----------------------------------------------------
+    # Batch layout: (gradients (n, dim + 1), counts (n,)).
+
+    def map_batch(self, records: Sequence[Row], aux: np.ndarray
+                  ) -> Tuple[np.ndarray, np.ndarray]:
+        if not records:
+            return (np.zeros((0, self.output_dim)), np.zeros(0))
+        extended = extended_features(records)
+        labels = np.asarray([r["label"] for r in records], dtype=float)
+        residuals = extended @ np.asarray(aux, dtype=float) - labels
+        return (residuals[:, None] * extended, np.ones(len(records)))
+
+    def prefix_suffix_batch(self, elements):
+        gradients, counts = elements
+        return (leave_one_out(gradients), leave_one_out(counts))
+
+    def combine_batch(self, agg, elements):
+        gradients, counts = elements
+        return (
+            np.asarray(agg[0], dtype=float) + gradients,
+            float(agg[1]) + counts,
+        )
+
+    def finalize_batch(self, aggs, aux: np.ndarray) -> np.ndarray:
+        gradients, counts = aggs
+        gradients = np.asarray(gradients, dtype=float)
+        counts = np.asarray(counts, dtype=float).reshape(-1)
+        n = counts.shape[0]
+        if n == 0:
+            return np.empty((0, self.output_dim))
+        aux = np.asarray(aux, dtype=float)
+        outputs = np.tile(aux, (n, 1))
+        populated = counts > 0
+        outputs[populated] = (
+            aux
+            - self.learning_rate * gradients[populated]
+            / counts[populated][:, None]
+        )
+        return outputs
+
+    def fold_batch(self, elements):
+        gradients, counts = elements
+        if counts.shape[0] == 0:
+            return self.zero()
+        return (
+            sequential_sum(gradients, None),
+            float(sequential_sum(counts, None)),
+        )
 
     def sample_domain_record(self, rng: random.Random, tables: Tables) -> Row:
         return domain_point(rng, self._dataset_config)

@@ -10,12 +10,14 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Any, Optional, Tuple
+from typing import Any, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.batch import leave_one_out, sequential_sum
 from repro.core.query import MapReduceQuery, Row, Tables
 from repro.mining.datasets import LifeScienceConfig, domain_point
+from repro.mining.linreg import extended_features
 
 
 def _sigmoid(z: float) -> float:
@@ -23,6 +25,16 @@ def _sigmoid(z: float) -> float:
         return 1.0 / (1.0 + math.exp(-z))
     ez = math.exp(z)
     return ez / (1.0 + ez)
+
+
+def _sigmoid_batch(z: np.ndarray) -> np.ndarray:
+    """Numerically stable vectorized sigmoid (same branches as scalar)."""
+    out = np.empty_like(z)
+    nonneg = z >= 0
+    out[nonneg] = 1.0 / (1.0 + np.exp(-z[nonneg]))
+    ez = np.exp(z[~nonneg])
+    out[~nonneg] = ez / (1.0 + ez)
+    return out
 
 
 class LogisticRegressionQuery(MapReduceQuery):
@@ -80,6 +92,60 @@ class LogisticRegressionQuery(MapReduceQuery):
         if count == 0:
             return aux.copy()
         return aux - self.learning_rate * gradient_sum / count
+
+    # -- batched kernels -----------------------------------------------------
+    # Batch layout: (gradients (n, dim + 1), counts (n,)) — same as
+    # LinearRegressionQuery, with the residual replaced by the logistic
+    # prediction error.
+
+    def map_batch(self, records: Sequence[Row], aux: np.ndarray
+                  ) -> Tuple[np.ndarray, np.ndarray]:
+        if not records:
+            return (np.zeros((0, self.output_dim)), np.zeros(0))
+        extended = extended_features(records)
+        predictions = _sigmoid_batch(extended @ np.asarray(aux, dtype=float))
+        targets = np.asarray(
+            [self._target(r) for r in records], dtype=float
+        )
+        return ((predictions - targets)[:, None] * extended,
+                np.ones(len(records)))
+
+    def prefix_suffix_batch(self, elements):
+        gradients, counts = elements
+        return (leave_one_out(gradients), leave_one_out(counts))
+
+    def combine_batch(self, agg, elements):
+        gradients, counts = elements
+        return (
+            np.asarray(agg[0], dtype=float) + gradients,
+            float(agg[1]) + counts,
+        )
+
+    def finalize_batch(self, aggs, aux: np.ndarray) -> np.ndarray:
+        gradients, counts = aggs
+        gradients = np.asarray(gradients, dtype=float)
+        counts = np.asarray(counts, dtype=float).reshape(-1)
+        n = counts.shape[0]
+        if n == 0:
+            return np.empty((0, self.output_dim))
+        aux = np.asarray(aux, dtype=float)
+        outputs = np.tile(aux, (n, 1))
+        populated = counts > 0
+        outputs[populated] = (
+            aux
+            - self.learning_rate * gradients[populated]
+            / counts[populated][:, None]
+        )
+        return outputs
+
+    def fold_batch(self, elements):
+        gradients, counts = elements
+        if counts.shape[0] == 0:
+            return self.zero()
+        return (
+            sequential_sum(gradients, None),
+            float(sequential_sum(counts, None)),
+        )
 
     def sample_domain_record(self, rng: random.Random, tables: Tables) -> Row:
         return domain_point(rng, self._dataset_config)

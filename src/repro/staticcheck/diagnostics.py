@@ -93,6 +93,18 @@ CODE_REGISTRY: Dict[str, CodeInfo] = {
             "C extension, REPL-defined, or dynamically generated); the "
             "purity pass skipped it.",
         ),
+        CodeInfo(
+            "UPA010", "batch-kernel-mismatch", Severity.WARNING,
+            "A batched kernel (map_batch/prefix_suffix_batch/"
+            "combine_batch/finalize_batch/fold_batch) is overridden "
+            "without the scalar method that defines its semantics, or "
+            "mutates an input batch in place. Batched kernels are an "
+            "optimization over the scalar monoid: validate_monoid "
+            "cross-checks them against the scalar path, and the "
+            "pipeline borrows batches across prefix/suffix folds, so a "
+            "kernel with no scalar reference — or one that writes into "
+            "its inputs — can silently change released outputs.",
+        ),
         # -- plan-stability pass (UPA1xx) ------------------------------
         CodeInfo(
             "UPA101", "unsupported-plan-operator", Severity.ERROR,

@@ -43,6 +43,19 @@ PASS = "purity"
 #: monoid methods inspected on every query class.
 MONOID_METHODS = ("map_record", "zero", "combine", "finalize", "build_aux")
 
+#: batched kernels and the scalar method defining each one's semantics.
+#: validate_monoid cross-checks an overridden kernel against the scalar
+#: path, which only means something if the scalar side is the query's
+#: own (the prefix/suffix and combine kernels both re-implement the
+#: reducer, hence ``combine``).
+BATCH_PARTNERS = {
+    "map_batch": "map_record",
+    "prefix_suffix_batch": "combine",
+    "combine_batch": "combine",
+    "finalize_batch": "finalize",
+    "fold_batch": "combine",
+}
+
 #: module roots whose calls are nondeterministic.
 _NONDET_ROOTS = {"random", "uuid", "secrets", "time"}
 
@@ -375,6 +388,59 @@ def _check_build_aux(
             )
 
 
+def _check_batch_kernels(
+    cls: type, owner: str
+) -> Iterable[Diagnostic]:
+    """UPA010: overridden batched kernels without their scalar partner,
+    or batched kernels that mutate their input batches in place."""
+    for batch_name, partner in BATCH_PARTNERS.items():
+        func = _resolve_method(cls, batch_name)
+        if func is None:
+            continue
+        try:
+            src = _MethodSource(func, owner, batch_name)
+        except (OSError, TypeError, SyntaxError, IndentationError) as exc:
+            yield make_diagnostic(
+                "UPA006",
+                f"{owner}.{batch_name}: source unavailable "
+                f"({type(exc).__name__}); batch-kernel checks skipped",
+                obj=owner,
+                pass_name=PASS,
+            )
+            continue
+        if _resolve_method(cls, partner) is None:
+            yield make_diagnostic(
+                "UPA010",
+                f"{src.where()} overrides a batched kernel but the "
+                f"class never overrides {partner}(), the scalar method "
+                "that defines its semantics; validate_monoid has no "
+                "reference to cross-check the kernel against",
+                file=src.file,
+                line=src.line_of(src.node),
+                obj=owner,
+                hint=f"implement {partner}() alongside {batch_name}() "
+                "and run validate_monoid() to confirm they agree",
+                pass_name=PASS,
+            )
+        for param in src.params:
+            for node, what in _argument_mutations(src, param):
+                yield make_diagnostic(
+                    "UPA010",
+                    f"{src.where()} {what}: batched kernels borrow "
+                    "their input batches — the session reuses the same "
+                    "mapped batch across prefix/suffix folds, partition "
+                    "outputs and the final aggregate, so in-place "
+                    "writes corrupt later neighbour outputs",
+                    file=src.file,
+                    line=src.line_of(node),
+                    obj=owner,
+                    hint="allocate a fresh array (np.copy / arithmetic "
+                    "that returns a new array) instead of writing into "
+                    f"`{param}`",
+                    pass_name=PASS,
+                )
+
+
 # ---------------------------------------------------------------------------
 # Entry point
 # ---------------------------------------------------------------------------
@@ -410,4 +476,5 @@ def check_query(query: Any) -> List[Diagnostic]:
             diagnostics.extend(_check_combine(src))
         if method_name == "build_aux":
             diagnostics.extend(_check_build_aux(src, protected, declared))
+    diagnostics.extend(_check_batch_kernels(cls, owner))
     return diagnostics

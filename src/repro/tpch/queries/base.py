@@ -8,12 +8,18 @@ from typing import Any, Dict, List
 
 import numpy as np
 
+from repro.core.batch import ScalarSumBatch
 from repro.core.query import MapReduceQuery, Row, Tables
 from repro.tpch.datagen import NATION_NAMES, PRIORITIES, SHIPMODES
 
 
-class TPCHQuery(MapReduceQuery):
+class TPCHQuery(ScalarSumBatch, MapReduceQuery):
     """A TPC-H query: MapReduceQuery plus SQL/DataFrame forms.
+
+    All seven queries share the scalar-sum monoid, so the vectorized
+    batch kernels come from :class:`~repro.core.batch.ScalarSumBatch`;
+    queries whose mapper is itself columnar (Q1, Q6) additionally
+    override ``map_batch``.
 
     Attributes:
         query_type: 'count' or 'arithmetic' (Table II).

@@ -8,7 +8,9 @@ UPA's only error is distribution-fit noise.
 from __future__ import annotations
 
 import random
-from typing import Any
+from typing import Any, Sequence
+
+import numpy as np
 
 from repro.core.query import Row, Tables
 from repro.sql.functions import count_star
@@ -34,6 +36,9 @@ class Q1(TPCHQuery):
 
     def map_record(self, record: Row, aux: Any) -> float:
         return 1.0
+
+    def map_batch(self, records: Sequence[Row], aux: Any) -> np.ndarray:
+        return np.ones(len(records), dtype=float)
 
     def sample_domain_record(self, rng: random.Random, tables: Tables) -> Row:
         return random_lineitem(rng, tables)

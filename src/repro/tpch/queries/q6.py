@@ -10,7 +10,9 @@ from __future__ import annotations
 
 import datetime
 import random
-from typing import Any
+from typing import Any, Sequence
+
+import numpy as np
 
 from repro.core.query import Row, Tables
 from repro.sql.expr import col, lit
@@ -59,6 +61,23 @@ class Q6(TPCHQuery):
         if not record["l_quantity"] < 40:
             return 0.0
         return record["l_extendedprice"] * record["l_discount"]
+
+    def map_batch(self, records: Sequence[Row], aux: Any) -> np.ndarray:
+        if not records:
+            return np.empty(0)
+        price = np.asarray([r["l_extendedprice"] for r in records], dtype=float)
+        discount = np.asarray([r["l_discount"] for r in records], dtype=float)
+        quantity = np.asarray([r["l_quantity"] for r in records], dtype=float)
+        in_window = np.asarray(
+            [_DATE_LO <= r["l_shipdate"] < _DATE_HI for r in records]
+        )
+        selected = (
+            in_window
+            & (discount >= 0.03)
+            & (discount <= 0.08)
+            & (quantity < 40)
+        )
+        return np.where(selected, price * discount, 0.0)
 
     def sample_domain_record(self, rng: random.Random, tables: Tables) -> Row:
         return random_lineitem(rng, tables)

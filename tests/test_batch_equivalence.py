@@ -1,0 +1,309 @@
+"""Batched monoid protocol: equivalence with the scalar monoid.
+
+The batched kernels (``map_batch`` / ``prefix_suffix_batch`` /
+``combine_batch`` / ``finalize_batch`` / ``fold_batch``) are a pure
+performance overlay — every value they produce must match what the
+scalar monoid methods produce, element for element.  These tests check
+that property for all nine shipped workloads (7 TPC-H + KMeans +
+Linear Regression) plus Logistic Regression and a sqlbridge-compiled
+query, across batch sizes including the empty batch, and then compare
+two full UPA sessions — one batched, one forced through the scalar
+defaults — end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+import numpy as np
+import pytest
+
+from repro.core.query import BATCH_METHODS, MapReduceQuery, Tables
+from repro.core.session import UPAConfig, UPASession
+from repro.mining import (
+    KMeansQuery,
+    LifeScienceConfig,
+    LinearRegressionQuery,
+    make_life_science_tables,
+)
+from repro.mining.logreg import LogisticRegressionQuery
+from repro.tpch import TPCHConfig, TPCHGenerator
+from repro.tpch.workload import all_queries as tpch_queries
+
+BATCH_SIZES = (0, 1, 17, 256)
+
+
+@pytest.fixture(scope="module")
+def big_tpch_tables() -> Tables:
+    """TPC-H tables large enough for 256-record batches."""
+    return TPCHGenerator(TPCHConfig(scale_rows=900, seed=3)).generate()
+
+
+@pytest.fixture(scope="module")
+def big_ml_tables() -> Tables:
+    return make_life_science_tables(
+        LifeScienceConfig(num_records=300, dim=4, num_clusters=3, seed=7)
+    )
+
+
+def _all_queries(tpch_tables: Tables, ml_tables: Tables
+                 ) -> List[Tuple[MapReduceQuery, Tables]]:
+    pairs: List[Tuple[MapReduceQuery, Tables]] = [
+        (q, tpch_tables) for q in tpch_queries()
+    ]
+    pairs.append((KMeansQuery(num_clusters=3, dim=4), ml_tables))
+    pairs.append((LinearRegressionQuery(dim=4), ml_tables))
+    pairs.append((LogisticRegressionQuery(dim=4), ml_tables))
+    return pairs
+
+
+def scalarized(query: MapReduceQuery) -> MapReduceQuery:
+    """A copy of ``query`` forced through the scalar batch defaults."""
+    cls = type(query)
+    scalar_cls = type(
+        f"Scalarized{cls.__name__}",
+        (cls,),
+        {name: getattr(MapReduceQuery, name) for name in BATCH_METHODS},
+    )
+    clone = object.__new__(scalar_cls)
+    clone.__dict__.update(query.__dict__)
+    return clone
+
+
+def _reference_loo(query: MapReduceQuery, records, aux) -> np.ndarray:
+    """finalize(zero + fold(all-but-i)) through the scalar monoid only."""
+    mapped = [query.map_record(r, aux) for r in records]
+    rows = []
+    for i in range(len(mapped)):
+        agg = query.zero()
+        for j, m in enumerate(mapped):
+            if j != i:
+                agg = query.combine(agg, m)
+        rows.append(query.finalize(query.combine(query.zero(), agg), aux))
+    if not rows:
+        return np.empty((0, query.output_dim))
+    return np.vstack(rows)
+
+
+class TestKernelEquivalence:
+    """Batched kernels vs literal scalar folds, per workload and size."""
+
+    @pytest.mark.parametrize("n", BATCH_SIZES)
+    def test_all_workloads_loo_and_fold_match_scalar(
+        self, big_tpch_tables, big_ml_tables, n
+    ):
+        for query, tables in _all_queries(big_tpch_tables, big_ml_tables):
+            records = tables[query.protected_table][:n]
+            aux = query.build_aux(tables)
+            batch = query.map_batch(records, aux)
+            assert query.batch_length(batch) == len(records), query.name
+
+            # Leave-one-out pipeline (what removal neighbours use).
+            loo = query.finalize_batch(
+                query.combine_batch(
+                    query.zero(), query.prefix_suffix_batch(batch)
+                ),
+                aux,
+            )
+            loo = np.asarray(loo, dtype=float)
+            reference = _reference_loo(query, records, aux)
+            assert loo.shape == (len(records), query.output_dim), query.name
+            np.testing.assert_allclose(
+                loo, reference, rtol=1e-9, atol=1e-12,
+                err_msg=f"{query.name} loo mismatch at n={len(records)}",
+            )
+
+            # Full fold (what the final aggregate uses).
+            folded = query.finalize(query.fold_batch(batch), aux)
+            scalar_fold = query.finalize(
+                query.fold(query.map_record(r, aux) for r in records), aux
+            )
+            np.testing.assert_allclose(
+                np.asarray(folded, dtype=float),
+                np.asarray(scalar_fold, dtype=float),
+                rtol=1e-9, atol=1e-12,
+                err_msg=f"{query.name} fold mismatch at n={len(records)}",
+            )
+
+    @pytest.mark.parametrize("n", BATCH_SIZES)
+    def test_combine_batch_with_nonzero_aggregate(
+        self, big_tpch_tables, big_ml_tables, n
+    ):
+        """Addition neighbours: finalize(combine(f_x_agg, m)) per record."""
+        for query, tables in _all_queries(big_tpch_tables, big_ml_tables):
+            records = tables[query.protected_table][:n]
+            base_records = tables[query.protected_table][n:n + 50]
+            aux = query.build_aux(tables)
+            agg = query.fold(query.map_record(r, aux) for r in base_records)
+            batch = query.map_batch(records, aux)
+            batched = np.asarray(
+                query.finalize_batch(query.combine_batch(agg, batch), aux),
+                dtype=float,
+            )
+            reference_rows = [
+                query.finalize(
+                    query.combine(agg, query.map_record(r, aux)), aux
+                )
+                for r in records
+            ]
+            reference = (
+                np.vstack(reference_rows)
+                if reference_rows
+                else np.empty((0, query.output_dim))
+            )
+            np.testing.assert_allclose(
+                batched, reference, rtol=1e-9, atol=1e-12,
+                err_msg=f"{query.name} combine mismatch at n={len(records)}",
+            )
+
+    def test_empty_batch_shapes(self, big_tpch_tables, big_ml_tables):
+        for query, tables in _all_queries(big_tpch_tables, big_ml_tables):
+            aux = query.build_aux(tables)
+            batch = query.map_batch([], aux)
+            assert query.batch_length(batch) == 0, query.name
+            out = query.finalize_batch(
+                query.combine_batch(
+                    query.zero(), query.prefix_suffix_batch(batch)
+                ),
+                aux,
+            )
+            assert np.asarray(out).shape == (0, query.output_dim), query.name
+            # The empty fold is the monoid identity.
+            folded = query.finalize(query.fold_batch(batch), aux)
+            identity = query.finalize(query.zero(), aux)
+            np.testing.assert_allclose(
+                np.asarray(folded, dtype=float),
+                np.asarray(identity, dtype=float),
+            )
+
+    def test_validate_monoid_cross_checks_batch_kernels(
+        self, big_tpch_tables, big_ml_tables
+    ):
+        """validate_monoid now exercises the batched kernels too."""
+        for query, tables in _all_queries(big_tpch_tables, big_ml_tables):
+            query.validate_monoid(tables)
+
+    def test_validate_monoid_rejects_broken_batch_kernel(
+        self, big_tpch_tables
+    ):
+        from repro.common.errors import QueryShapeError
+        from repro.tpch import query_by_name
+
+        broken_cls = type(
+            "BrokenBatch",
+            (type(query_by_name("tpch1")),),
+            {
+                "prefix_suffix_batch":
+                    lambda self, elements:
+                        np.asarray(elements, dtype=float) * 2.0,
+            },
+        )
+        broken = broken_cls()
+        with pytest.raises(QueryShapeError):
+            broken.validate_monoid(big_tpch_tables)
+
+    def test_sqlbridge_compiled_query_batches(self, big_tpch_tables):
+        from repro.core.sqlbridge import compile_sql
+
+        query = compile_sql(
+            "SELECT SUM(l_quantity) FROM lineitem WHERE l_discount >= 0.02",
+            big_tpch_tables,
+            "lineitem",
+        )
+        records = big_tpch_tables["lineitem"][:64]
+        aux = query.build_aux(big_tpch_tables)
+        batch = query.map_batch(records, aux)
+        loo = query.finalize_batch(
+            query.combine_batch(
+                query.zero(), query.prefix_suffix_batch(batch)
+            ),
+            aux,
+        )
+        np.testing.assert_allclose(
+            np.asarray(loo, dtype=float),
+            _reference_loo(query, records, aux),
+            rtol=1e-9,
+        )
+
+
+class TestSessionEquivalence:
+    """Full pipeline: batched session vs scalar-forced session."""
+
+    CONFIG = dict(sample_size=40, seed=123)
+
+    def _run_pair(self, query, tables):
+        batched = UPASession(UPAConfig(**self.CONFIG)).run(
+            query, tables, epsilon=0.5
+        )
+        scalar = UPASession(UPAConfig(**self.CONFIG)).run(
+            scalarized(query), tables, epsilon=0.5
+        )
+        return batched, scalar
+
+    @pytest.mark.parametrize("name", ["tpch1", "tpch6"])
+    def test_sum_workloads_bitwise_identical(self, name, tpch_tables):
+        from repro.tpch import query_by_name
+
+        batched, scalar = self._run_pair(query_by_name(name), tpch_tables)
+        assert np.array_equal(batched.noisy_output, scalar.noisy_output)
+        assert np.array_equal(batched.removal_outputs, scalar.removal_outputs)
+        assert np.array_equal(
+            batched.addition_outputs, scalar.addition_outputs
+        )
+        assert batched.local_sensitivity == scalar.local_sensitivity
+        assert np.array_equal(
+            batched.partition_outputs[0], scalar.partition_outputs[0]
+        )
+        assert np.array_equal(
+            batched.partition_outputs[1], scalar.partition_outputs[1]
+        )
+
+    def test_ml_workloads_allclose(self, ml_tables):
+        for query in (
+            KMeansQuery(num_clusters=2, dim=3),
+            LinearRegressionQuery(dim=3),
+            LogisticRegressionQuery(dim=3),
+        ):
+            batched, scalar = self._run_pair(query, ml_tables)
+            np.testing.assert_allclose(
+                batched.noisy_output, scalar.noisy_output, rtol=1e-9,
+                err_msg=query.name,
+            )
+            np.testing.assert_allclose(
+                batched.removal_outputs, scalar.removal_outputs, rtol=1e-9,
+                atol=1e-12, err_msg=query.name,
+            )
+            np.testing.assert_allclose(
+                batched.addition_outputs, scalar.addition_outputs, rtol=1e-9,
+                atol=1e-12, err_msg=query.name,
+            )
+            assert batched.local_sensitivity == pytest.approx(
+                scalar.local_sensitivity, rel=1e-9
+            )
+
+    def test_naive_ablation_still_matches_reused(self, tpch_tables):
+        from repro.tpch import query_by_name
+
+        query = query_by_name("tpch6")
+        reused = UPASession(UPAConfig(**self.CONFIG)).run(
+            query, tpch_tables, epsilon=0.5
+        )
+        naive = UPASession(
+            UPAConfig(reuse_intermediate=False, **self.CONFIG)
+        ).run(query, tpch_tables, epsilon=0.5)
+        np.testing.assert_allclose(
+            reused.removal_outputs, naive.removal_outputs, rtol=1e-9
+        )
+
+    def test_tiny_dataset_smaller_than_sample(self):
+        """n is lowered to |x|; removal pipeline sees a 3-element batch."""
+        from repro.tpch import query_by_name
+
+        query = query_by_name("tpch6")
+        tables = TPCHGenerator(TPCHConfig(scale_rows=100, seed=1)).generate()
+        tables["lineitem"] = tables["lineitem"][:3]
+        result = UPASession(UPAConfig(sample_size=40, seed=9)).run(
+            query, tables, epsilon=0.5
+        )
+        assert result.sample_size == 3
+        assert result.removal_outputs.shape == (3, 1)

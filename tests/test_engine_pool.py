@@ -1,0 +1,91 @@
+"""Persistent scheduler pool + run_job partition normalization."""
+
+from __future__ import annotations
+
+from repro.common.config import EngineConfig
+from repro.engine import EngineContext
+from repro.engine.events import JobListener
+
+
+def _threaded_ctx() -> EngineContext:
+    return EngineContext(
+        EngineConfig(default_parallelism=4, use_threads=True, max_workers=4)
+    )
+
+
+class TestPersistentPool:
+    def test_pool_created_lazily_and_reused_across_jobs(self):
+        ctx = _threaded_ctx()
+        assert ctx.scheduler._pool is None
+        rdd = ctx.parallelize(range(100), 4)
+        assert rdd.map(lambda v: v + 1).count() == 100
+        pool = ctx.scheduler._pool
+        assert pool is not None
+        assert sum(rdd.collect()) == sum(range(100))
+        assert ctx.scheduler._pool is pool  # same executor, not a new one
+
+    def test_stop_shuts_pool_down_and_is_idempotent(self):
+        ctx = _threaded_ctx()
+        ctx.parallelize(range(8), 4).collect()
+        assert ctx.scheduler._pool is not None
+        ctx.stop()
+        assert ctx.scheduler._pool is None
+        ctx.stop()  # second stop is a no-op
+
+    def test_jobs_after_stop_recreate_the_pool(self):
+        ctx = _threaded_ctx()
+        ctx.parallelize(range(8), 4).collect()
+        ctx.stop()
+        assert ctx.parallelize(range(8), 4).map(lambda v: v * 2).count() == 8
+        assert ctx.scheduler._pool is not None
+        ctx.stop()
+
+    def test_context_manager_stops_on_exit(self):
+        with _threaded_ctx() as ctx:
+            ctx.parallelize(range(8), 4).collect()
+            assert ctx.scheduler._pool is not None
+        assert ctx.scheduler._pool is None
+
+    def test_shuffle_nested_job_does_not_deadlock(self):
+        """ShuffledRDD tasks materialize their parent via a nested
+        run_job; with one shared pool that nested job must run inline
+        in the worker (4 workers, 4 outer tasks => a pooled nested job
+        would starve)."""
+        ctx = _threaded_ctx()
+        pairs = ctx.parallelize([(i % 3, 1) for i in range(60)], 4)
+        counts = dict(pairs.reduce_by_key(lambda a, b: a + b).collect())
+        assert counts == {0: 20, 1: 20, 2: 20}
+        ctx.stop()
+
+    def test_single_partition_jobs_bypass_the_pool(self):
+        ctx = _threaded_ctx()
+        assert ctx.parallelize([1, 2, 3], 1).collect() == [1, 2, 3]
+        assert ctx.scheduler._pool is None  # never needed a pool
+
+
+class TestRunJobNormalization:
+    def test_generator_partitions_normalized_once(self):
+        """run_job iterates `partitions` twice (dispatch + event record);
+        a generator argument must still yield every result and an
+        accurate num_partitions."""
+        ctx = EngineContext(EngineConfig(default_parallelism=4))
+        listener = JobListener()
+        ctx.install_job_listener(listener)
+        rdd = ctx.parallelize(range(40), 4)
+        results = ctx.scheduler.run_job(
+            rdd, lambda it: sum(1 for _ in it),
+            partitions=(p for p in range(rdd.num_partitions)),
+        )
+        assert sum(results) == 40
+        assert len(results) == 4
+        event = listener.events()[-1]
+        assert event.num_partitions == 4
+
+    def test_generator_partitions_with_threads(self):
+        ctx = _threaded_ctx()
+        rdd = ctx.parallelize(range(40), 4)
+        results = ctx.scheduler.run_job(
+            rdd, list, partitions=(p for p in range(4))
+        )
+        assert sorted(v for chunk in results for v in chunk) == list(range(40))
+        ctx.stop()

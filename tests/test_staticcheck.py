@@ -139,6 +139,48 @@ class DeclaredAuxQuery(AuxReadsProtectedQuery):
     aux_reads_protected = True
 
 
+class OrphanBatchQuery(MapReduceQuery):
+    """UPA010: map_batch overridden without map_record."""
+
+    name = "bad-orphan-batch"
+    protected_table = "t"
+    output_dim = 1
+
+    def zero(self) -> float:
+        return 0.0
+
+    def combine(self, a: float, b: float) -> float:
+        return a + b
+
+    def finalize(self, agg: float, aux: Any) -> np.ndarray:
+        return np.asarray([float(agg)], dtype=float)
+
+    def map_batch(self, records, aux):
+        return np.ones(len(records), dtype=float)
+
+
+class MutatingBatchQuery(_FixtureBase):
+    """UPA010: combine_batch writes into its input batch."""
+
+    name = "bad-mutating-batch"
+
+    def combine_batch(self, agg, elements):
+        elements += agg
+        return elements
+
+
+class CleanBatchQuery(_FixtureBase):
+    """Batched kernels with their scalar partners: no UPA010."""
+
+    name = "clean-batch"
+
+    def map_batch(self, records, aux):
+        return np.ones(len(records), dtype=float)
+
+    def combine_batch(self, agg, elements):
+        return float(agg) + np.asarray(elements, dtype=float)
+
+
 def _codes(diagnostics):
     return {d.code for d in diagnostics}
 
@@ -188,6 +230,32 @@ class TestPurityPass:
         diags = check_query(DeclaredAuxQuery())
         (diag,) = [d for d in diags if d.code == "UPA005"]
         assert diag.severity == Severity.INFO
+
+    def test_orphan_batch_kernel_flagged(self):
+        diags = check_query(OrphanBatchQuery())
+        (diag,) = [d for d in diags if d.code == "UPA010"]
+        assert diag.severity == Severity.WARNING
+        assert "map_record" in diag.message
+
+    def test_mutating_batch_kernel_flagged(self):
+        diags = check_query(MutatingBatchQuery())
+        (diag,) = [d for d in diags if d.code == "UPA010"]
+        assert diag.severity == Severity.WARNING
+        assert "in-place" in diag.message
+
+    def test_batch_kernels_with_scalar_partners_are_clean(self):
+        assert check_query(CleanBatchQuery()) == []
+
+    def test_shipped_batched_workloads_have_no_upa010(self):
+        from repro.mining.kmeans import KMeansQuery
+        from repro.mining.linreg import LinearRegressionQuery
+        from repro.tpch import query_by_name
+
+        for query in (query_by_name("tpch6"), KMeansQuery(),
+                      LinearRegressionQuery()):
+            assert not [
+                d for d in check_query(query) if d.code == "UPA010"
+            ]
 
     def test_source_unavailable_is_info_not_crash(self):
         namespace: dict = {"_FixtureBase": _FixtureBase}
@@ -419,6 +487,7 @@ class TestRenderersAndRegistry:
     def test_every_diagnostic_code_is_registered(self):
         assert set(CODE_REGISTRY) == {
             "UPA001", "UPA002", "UPA003", "UPA004", "UPA005", "UPA006",
+            "UPA010",
             "UPA101", "UPA102", "UPA103", "UPA104",
             "UPA201", "UPA202", "UPA203",
         }
