@@ -1,0 +1,234 @@
+"""Disabled-tracer overhead on the union-preserving hot path.
+
+The observability layer promises to be zero-cost when off: the ambient
+tracer defaults to :data:`~repro.obs.tracing.NULL_TRACER`, whose
+``span()`` hands back one shared no-op context manager, and hot paths
+gate attribute construction on ``tracer.enabled``.  This benchmark
+holds that promise to a number.
+
+Span count per run is fixed (~8: one run span, five phases, two engine
+jobs) regardless of data size, so the right metric is the *absolute*
+cost those no-op entries add, expressed against what one real
+``UPASession.run`` costs at the same configuration:
+
+    overhead = (traced_kernel - bare_kernel) / session_run_seconds
+
+The kernel is the batched neighbour-generation pipeline (the same one
+``test_bench_neighbours`` times) bare vs wrapped in disabled-tracer
+spans at session granularity.  The assertion is overhead < 5 %; the
+raw kernel-vs-kernel ratio and the enabled-tracer cost are recorded in
+the JSON artifact for the curious (enabled tracing is allowed to cost
+something).
+
+Writes ``BENCH_obs_overhead.json`` at the repo root (override with
+``BENCH_OBS_OUTPUT``).  Knobs:
+
+* ``BENCH_OBS_N`` — sample size n (default 1000).
+* ``BENCH_OBS_SCALE`` — dataset scale (default 8000 rows).
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_obs_overhead.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, List
+
+import numpy as np
+
+from benchmarks.conftest import cached_tables, emit_report
+from repro.analysis import format_table
+from repro.common.rng import make_rng
+from repro.obs.tracing import NULL_SPAN, NULL_TRACER, Tracer
+from repro.workloads import workload_by_name
+
+N = int(os.environ.get("BENCH_OBS_N", "1000"))
+SCALE = int(os.environ.get("BENCH_OBS_SCALE", "8000"))
+OUTPUT = os.environ.get(
+    "BENCH_OBS_OUTPUT",
+    os.path.join(
+        os.path.dirname(__file__), os.pardir, "BENCH_obs_overhead.json"
+    ),
+)
+REPEATS = 5
+SEED = 17
+
+#: the acceptance bound: disabled tracing must stay under this.
+MAX_DISABLED_OVERHEAD = 0.05
+
+#: spans the instrumented session enters per run (upa.run + five
+#: phases + two engine.job spans) — the granularity we reproduce here.
+SPANS_PER_RUN = 8
+
+#: workloads to measure; tpch1/tpch6 are the pure-numpy hot paths where
+#: any fixed per-run cost is most visible.
+WORKLOADS = ("tpch1", "tpch6")
+
+
+def _neighbours_bare(query, records, extra_records, aux) -> np.ndarray:
+    """Batched neighbour generation with no tracing at all."""
+    mapped = query.map_batch(records, aux)
+    extras = query.map_batch(extra_records, aux)
+    removal = query.finalize_batch(
+        query.combine_batch(
+            query.zero(), query.prefix_suffix_batch(mapped)
+        ),
+        aux,
+    )
+    f_x_agg = query.fold_batch(mapped)
+    addition = query.finalize_batch(
+        query.combine_batch(f_x_agg, extras), aux
+    )
+    return np.vstack(
+        [np.asarray(removal, dtype=float), np.asarray(addition, dtype=float)]
+    )
+
+
+def _neighbours_traced(tracer, query, records, extra_records, aux):
+    """The same pipeline wrapped in spans at session granularity.
+
+    Mirrors UPASession.run: one outer run span, phase spans around each
+    stage, engine.job-like spans inside the map phase, with the same
+    ``tracer.enabled`` gating the real call sites use.
+    """
+    run_span = (
+        tracer.span("upa.run", query=query.name, sample_size=len(records))
+        if tracer.enabled else NULL_SPAN
+    )
+    with run_span:
+        with tracer.span("phase:partition_sample"):
+            pass
+        with tracer.span("phase:map"):
+            with tracer.span("engine.job", partitions=2):
+                mapped = query.map_batch(records, aux)
+            with tracer.span("engine.job", partitions=2):
+                extras = query.map_batch(extra_records, aux)
+        with tracer.span("phase:reduce"):
+            removal = query.finalize_batch(
+                query.combine_batch(
+                    query.zero(), query.prefix_suffix_batch(mapped)
+                ),
+                aux,
+            )
+            f_x_agg = query.fold_batch(mapped)
+            addition = query.finalize_batch(
+                query.combine_batch(f_x_agg, extras), aux
+            )
+        with tracer.span("phase:inference"):
+            pass
+        with tracer.span("phase:noise"):
+            pass
+    return np.vstack(
+        [np.asarray(removal, dtype=float), np.asarray(addition, dtype=float)]
+    )
+
+
+def _time(fn, *args) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _session_run_seconds(workload, tables) -> float:
+    """Wall time of one real (untraced) UPASession.run at this config."""
+    from repro.core.session import UPAConfig, UPASession
+
+    session = UPASession(UPAConfig(epsilon=0.1, sample_size=N, seed=SEED))
+    return _time(session.run, workload.query, tables)
+
+
+def _measure(name: str) -> Dict[str, Any]:
+    workload = workload_by_name(name)
+    tables = cached_tables(workload, SCALE, seed=SEED)
+    query = workload.query
+    aux = query.build_aux(tables)
+    records = tables[query.protected_table][:N]
+    rng = make_rng(SEED, f"bench-obs-{name}")
+    extra_records = [
+        query.sample_domain_record(rng, tables) for _ in range(len(records))
+    ]
+
+    # Correctness first: tracing must not perturb outputs.
+    bare_out = _neighbours_bare(query, records, extra_records, aux)
+    null_out = _neighbours_traced(
+        NULL_TRACER, query, records, extra_records, aux
+    )
+    assert np.array_equal(bare_out, null_out)
+
+    bare = _time(_neighbours_bare, query, records, extra_records, aux)
+    disabled = _time(
+        _neighbours_traced, NULL_TRACER, query, records, extra_records, aux
+    )
+
+    enabled_tracer = Tracer()
+    enabled = _time(
+        _neighbours_traced, enabled_tracer, query, records, extra_records, aux
+    )
+
+    session_seconds = _session_run_seconds(workload, tables)
+    added = max(0.0, disabled - bare)
+
+    return {
+        "n": len(records),
+        "bare_seconds": bare,
+        "disabled_seconds": disabled,
+        "enabled_seconds": enabled,
+        "session_run_seconds": session_seconds,
+        "added_seconds": added,
+        "disabled_overhead": added / session_seconds,
+        "kernel_ratio": disabled / bare - 1.0,
+        "enabled_kernel_ratio": enabled / bare - 1.0,
+        "spans_per_run": SPANS_PER_RUN,
+    }
+
+
+def test_bench_disabled_tracer_overhead():
+    results: Dict[str, Dict[str, Any]] = {}
+    rows: List[list] = []
+    for name in WORKLOADS:
+        entry = _measure(name)
+        results[name] = entry
+        rows.append(
+            [
+                name,
+                entry["n"],
+                f"{entry['bare_seconds'] * 1000:.3f}",
+                f"{entry['disabled_seconds'] * 1000:.3f}",
+                f"{entry['session_run_seconds'] * 1000:.3f}",
+                f"{entry['disabled_overhead'] * 100:+.3f}%",
+                f"{entry['enabled_kernel_ratio'] * 100:+.2f}%",
+            ]
+        )
+
+    payload = {
+        "benchmark": "disabled_tracer_overhead",
+        "sample_size": N,
+        "scale": SCALE,
+        "repeats": REPEATS,
+        "max_disabled_overhead": MAX_DISABLED_OVERHEAD,
+        "workloads": results,
+    }
+    output = os.path.abspath(OUTPUT)
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    report = format_table(
+        ["query", "n", "bare (ms)", "disabled (ms)", "session (ms)",
+         "disabled ovh", "enabled kernel"],
+        rows,
+    )
+    report += f"\n\n(JSON written to {output})"
+    emit_report("bench_obs_overhead", report)
+
+    for name, entry in results.items():
+        assert entry["disabled_overhead"] < MAX_DISABLED_OVERHEAD, (
+            name, entry,
+        )

@@ -15,12 +15,11 @@ Public surface:
 * :mod:`repro.baselines` — FLEX and brute-force comparators.
 """
 
+from repro._version import __version__
 from repro.core import MapReduceQuery, UPAConfig, UPAResult, UPASession
 from repro.core.dpobject import DPObject, DPObjectKV, dpread
 from repro.engine import EngineContext
 from repro.sql import SQLSession
-
-__version__ = "1.0.0"
 
 __all__ = [
     "DPObject",

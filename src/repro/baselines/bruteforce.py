@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.common.rng import make_rng
 from repro.core.query import MapReduceQuery, Tables
+from repro.obs.tracing import trace
 
 
 @dataclass(frozen=True)
@@ -69,6 +70,20 @@ def exact_local_sensitivity(
         max_removals: optionally cap the removal neighbours (useful in
             quick tests); None = all records.
     """
+    with trace("baseline.bruteforce", query=query.name,
+               addition_samples=addition_samples):
+        return _exact_local_sensitivity(
+            query, tables, addition_samples, seed, max_removals
+        )
+
+
+def _exact_local_sensitivity(
+    query: MapReduceQuery,
+    tables: Tables,
+    addition_samples: int,
+    seed: int,
+    max_removals: Optional[int],
+) -> BruteForceResult:
     aux = query.build_aux(tables)
     records = tables[query.protected_table]
     mapped = query.map_batch(records, aux)

@@ -60,11 +60,14 @@ def flex_local_sensitivity(
     Raises:
         FlexUnsupportedError: for any query outside FLEX's fragment.
     """
-    metadata = TableMetadata(tables)
-    aggregate = _find_count_aggregate(plan)
-    analysis = FlexAnalysis(sensitivity=1.0)
-    _walk(aggregate.child, metadata, analysis)
-    return analysis
+    from repro.obs.tracing import trace
+
+    with trace("baseline.flex"):
+        metadata = TableMetadata(tables)
+        aggregate = _find_count_aggregate(plan)
+        analysis = FlexAnalysis(sensitivity=1.0)
+        _walk(aggregate.child, metadata, analysis)
+        return analysis
 
 
 def flex_fragment_reason(plan: LogicalPlan) -> Optional[str]:

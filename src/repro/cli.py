@@ -8,9 +8,17 @@ Commands:
   generated TPC-H dataset (compiled by the provenance bridge).
 * ``compare`` — UPA vs FLEX vs brute force sensitivities for one
   workload.
+* ``report`` — render the per-phase time breakdown and privacy-ledger
+  summary from trace/ledger artifacts written by ``run``/``compare``.
 * ``lint`` — the upalint static analyzer: query purity, plan
   stability, and budget-flow diagnostics over the built-in workloads
   and/or analyst scripts; exits non-zero on error-severity findings.
+
+Observability (``--trace``/``--ledger``/``--events``) is opt-in and
+documented in ``docs/observability.md``: ``--trace`` writes a Chrome
+trace-event JSON (load in ``chrome://tracing``), ``--ledger`` writes
+the append-only privacy audit ledger as JSONL, ``--events`` installs a
+job listener and prints the engine's per-job event log.
 """
 
 from __future__ import annotations
@@ -19,8 +27,26 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro._version import __version__
 from repro.analysis import format_table
 from repro.core import UPAConfig, UPASession
+
+
+def _add_observability_args(parser: argparse.ArgumentParser,
+                            ledger: bool = True) -> None:
+    parser.add_argument(
+        "--trace", metavar="PATH",
+        help="write a Chrome trace-event JSON of the run to PATH",
+    )
+    if ledger:
+        parser.add_argument(
+            "--ledger", metavar="PATH",
+            help="write the privacy audit ledger (JSONL) to PATH",
+        )
+    parser.add_argument(
+        "--events", action="store_true",
+        help="install a JobListener and print the engine job event log",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -28,6 +54,9 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="UPA (DSN 2020) reproduction: differentially private "
         "big-data mining",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -39,6 +68,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--epsilon", type=float, default=0.1)
     run.add_argument("--sample-size", type=int, default=1000)
+    _add_observability_args(run)
 
     sql = sub.add_parser(
         "run-sql", help="run an ad-hoc SQL query over generated TPC-H data"
@@ -48,6 +78,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sql.add_argument("--scale", type=int, default=20_000)
     sql.add_argument("--seed", type=int, default=0)
     sql.add_argument("--epsilon", type=float, default=0.1)
+    _add_observability_args(sql)
 
     cmp_parser = sub.add_parser(
         "compare", help="UPA vs FLEX vs brute-force sensitivity"
@@ -55,6 +86,22 @@ def _build_parser() -> argparse.ArgumentParser:
     cmp_parser.add_argument("workload")
     cmp_parser.add_argument("--scale", type=int, default=20_000)
     cmp_parser.add_argument("--seed", type=int, default=0)
+    _add_observability_args(cmp_parser, ledger=False)
+
+    report = sub.add_parser(
+        "report",
+        help="per-phase time breakdown + privacy ledger summary from "
+        "artifacts written by run/compare",
+    )
+    report.add_argument(
+        "--trace", metavar="PATH", help="Chrome trace JSON written by --trace"
+    )
+    report.add_argument(
+        "--ledger", metavar="PATH", help="ledger JSONL written by --ledger"
+    )
+    report.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
 
     lint = sub.add_parser(
         "lint",
@@ -98,15 +145,62 @@ def _cmd_list() -> int:
     return 0
 
 
+def _setup_observability(args, **config_fields):
+    """(tracer, ledger) per the command's --trace/--ledger flags.
+
+    Both artifacts share one self-describing header: repro + python
+    versions plus the run configuration (epsilon, n, seed, ...).
+    """
+    from repro.obs import PrivacyLedger, Tracer, run_header
+
+    header = run_header(**config_fields)
+    tracer = Tracer(header=header) if getattr(args, "trace", None) else None
+    ledger = (
+        PrivacyLedger(header=header)
+        if getattr(args, "ledger", None) else None
+    )
+    return tracer, ledger
+
+
+def _emit_observability(args, engine, tracer, ledger) -> None:
+    """Write the requested artifacts and print where they landed."""
+    if tracer is not None:
+        tracer.write_chrome_trace(args.trace)
+        print(f"trace written to {args.trace} "
+              f"({len(tracer)} spans; open in chrome://tracing)")
+    if ledger is not None:
+        ledger.write_jsonl(args.ledger)
+        print(f"privacy ledger written to {args.ledger} "
+              f"({len(ledger)} entries)")
+    if getattr(args, "events", False) and engine.job_listener is not None:
+        print("job events:")
+        print(engine.job_listener.summary())
+
+
+def _install_events(args, engine) -> None:
+    from repro.engine.events import JobListener
+
+    if getattr(args, "events", False) and engine.job_listener is None:
+        engine.install_job_listener(JobListener())
+
+
 def _cmd_run(args) -> int:
+    from repro.obs.tracing import use_tracer
     from repro.workloads import workload_by_name
 
     workload = workload_by_name(args.workload)
     tables = workload.make_tables(args.scale, args.seed)
-    session = UPASession(
-        UPAConfig(sample_size=args.sample_size, seed=args.seed)
+    tracer, ledger = _setup_observability(
+        args, command="run", workload=args.workload, epsilon=args.epsilon,
+        sample_size=args.sample_size, seed=args.seed, scale=args.scale,
     )
-    result = session.run(workload.query, tables, epsilon=args.epsilon)
+    session = UPASession(
+        UPAConfig(sample_size=args.sample_size, seed=args.seed),
+        ledger=ledger,
+    )
+    _install_events(args, session.engine)
+    with use_tracer(tracer):
+        result = session.run(workload.query, tables, epsilon=args.epsilon)
     truth = workload.query.output(tables)
     rows = [
         ["true answer", truth[0] if truth.shape[0] == 1 else list(truth)],
@@ -118,6 +212,7 @@ def _cmd_run(args) -> int:
         ["elapsed seconds", result.elapsed_seconds],
     ]
     print(format_table(["field", "value"], rows))
+    _emit_observability(args, session.engine, tracer, ledger)
     return 0
 
 
@@ -141,11 +236,21 @@ def _cmd_run_sql(args) -> int:
         print(f"error: no domain sampler for table {args.protect!r}; "
               f"choose one of {sorted(domain_samplers)}", file=sys.stderr)
         return 2
-    session = UPASession(UPAConfig(sample_size=1000, seed=args.seed))
-    result = session.run_sql(
-        args.query, tables, protected_table=args.protect,
-        epsilon=args.epsilon, domain_sampler=sampler,
+    from repro.obs.tracing import use_tracer
+
+    tracer, ledger = _setup_observability(
+        args, command="run-sql", sql=args.query, epsilon=args.epsilon,
+        sample_size=1000, seed=args.seed, scale=args.scale,
     )
+    session = UPASession(
+        UPAConfig(sample_size=1000, seed=args.seed), ledger=ledger
+    )
+    _install_events(args, session.engine)
+    with use_tracer(tracer):
+        result = session.run_sql(
+            args.query, tables, protected_table=args.protect,
+            epsilon=args.epsilon, domain_sampler=sampler,
+        )
     rows = [
         ["query", args.query],
         ["true answer", result.plain_output[0]],
@@ -153,40 +258,70 @@ def _cmd_run_sql(args) -> int:
         ["inferred sensitivity", result.local_sensitivity],
     ]
     print(format_table(["field", "value"], rows))
+    _emit_observability(args, session.engine, tracer, ledger)
     return 0
 
 
 def _cmd_compare(args) -> int:
     from repro.baselines import exact_local_sensitivity, flex_local_sensitivity
     from repro.common.errors import FlexUnsupportedError
+    from repro.obs.tracing import use_tracer
     from repro.sql import SQLSession
     from repro.tpch.datagen import register_tables
     from repro.workloads import workload_by_name
 
     workload = workload_by_name(args.workload)
     tables = workload.make_tables(args.scale, args.seed)
-    truth = exact_local_sensitivity(
-        workload.query, tables, addition_samples=500
+    tracer, _ = _setup_observability(
+        args, command="compare", workload=args.workload, seed=args.seed,
+        scale=args.scale, epsilon=0.1, sample_size=1000,
     )
     session = UPASession(UPAConfig(sample_size=1000, seed=args.seed))
-    result = session.run(workload.query, tables, epsilon=0.1)
+    _install_events(args, session.engine)
+    # One ambient tracer scope so the UPA pipeline and both baselines
+    # emit into the same trace and can be compared span for span.
+    with use_tracer(tracer):
+        truth = exact_local_sensitivity(
+            workload.query, tables, addition_samples=500
+        )
+        result = session.run(workload.query, tables, epsilon=0.1)
 
-    flex_text = "unsupported"
-    if hasattr(workload.query, "dataframe"):
-        sql = SQLSession()
-        register_tables(sql, tables)
-        try:
-            flex_text = flex_local_sensitivity(
-                workload.query.dataframe(sql).plan, tables
-            ).sensitivity
-        except FlexUnsupportedError:
-            pass
+        flex_text = "unsupported"
+        if hasattr(workload.query, "dataframe"):
+            sql = SQLSession()
+            register_tables(sql, tables)
+            try:
+                flex_text = flex_local_sensitivity(
+                    workload.query.dataframe(sql).plan, tables
+                ).sensitivity
+            except FlexUnsupportedError:
+                pass
     rows = [
         ["brute force (ground truth)", truth.local_sensitivity],
         ["UPA (inferred)", result.estimated_local_sensitivity],
         ["FLEX (static)", flex_text],
     ]
     print(format_table(["system", "local sensitivity"], rows))
+    _emit_observability(args, session.engine, tracer, None)
+    return 0
+
+
+def _cmd_report(args) -> int:
+    import os
+
+    from repro.obs import ObservedRun
+
+    if not args.trace and not args.ledger:
+        print("repro report: pass --trace and/or --ledger", file=sys.stderr)
+        return 2
+    for path in (args.trace, args.ledger):
+        if path and not os.path.exists(path):
+            print(f"repro report: no such file: {path}", file=sys.stderr)
+            return 2
+    observed = ObservedRun.from_artifacts(
+        trace_path=args.trace, ledger_path=args.ledger
+    )
+    print(observed.render_json() if args.json else observed.render_text())
     return 0
 
 
@@ -240,6 +375,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_run_sql(args)
         if args.command == "compare":
             return _cmd_compare(args)
+        if args.command == "report":
+            return _cmd_report(args)
         if args.command == "lint":
             return _cmd_lint(args)
     except BrokenPipeError:  # e.g. `repro list | head`

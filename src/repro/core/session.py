@@ -44,7 +44,10 @@ from repro.core.sampling import PartitionedSample, partition_and_sample
 from repro.dp.budget import PrivacyAccountant
 from repro.dp.mechanisms import GaussianMechanism, LaplaceMechanism
 from repro.engine.context import EngineContext
-from repro.engine.metrics import MetricsSnapshot
+from repro.engine.metrics import MetricsRegistry, MetricsSnapshot
+from repro.obs.ledger import PrivacyLedger, make_entry
+from repro.obs.report import run_header
+from repro.obs.tracing import NULL_SPAN, NULL_TRACER, Tracer, get_tracer
 
 
 @dataclass(frozen=True)
@@ -214,6 +217,8 @@ class UPASession:
         engine: Optional[EngineContext] = None,
         enforcer: Optional[RangeEnforcer] = None,
         accountant: Optional[PrivacyAccountant] = None,
+        tracer: Optional[Tracer] = None,
+        ledger: Optional[PrivacyLedger] = None,
     ):
         self.config = config or UPAConfig()
         self.engine = engine or EngineContext(
@@ -227,10 +232,20 @@ class UPASession:
             )
         self.enforcer = enforcer
         self.accountant = accountant
+        #: None = follow the ambient tracer (repro.obs.tracing.get_tracer),
+        #: so `with use_tracer(t):` observes existing sessions too.
+        self._tracer = tracer
+        #: privacy audit ledger; None = no auditing.
+        self.ledger = ledger
         self._run_counter = 0
         self._answer_cache: dict = {}
         #: query classes already cleared by the strict-mode static gate.
         self._lint_cleared: set = set()
+
+    @property
+    def tracer(self) -> Tracer:
+        """The effective tracer: explicit if given, else the ambient one."""
+        return self._tracer if self._tracer is not None else get_tracer()
 
     # ------------------------------------------------------------------
     # Public API
@@ -252,33 +267,66 @@ class UPASession:
             self._static_gate(query)
         if self.config.validate_queries or self.config.strict:
             query.validate_monoid(tables)
+        tracer = self.tracer
+        if tracer.enabled and self.engine.tracer is NULL_TRACER:
+            # Auto-wire the engine (scheduler spans + job listener) so
+            # one tracer sees the pipeline end to end.
+            self.engine.install_tracer(tracer)
         cache_key = None
         if self.config.answer_cache:
             cache_key = self._cache_key(query, tables, epsilon)
             cached = self._answer_cache.get(cache_key)
             if cached is not None:
+                self.engine.metrics.incr("answer_cache_hits")
+                self._record_ledger(
+                    query, cached, epsilon_charged=0.0, delta=0.0,
+                    cache_hit=True,
+                )
                 return cached
+        delta = self.config.delta if self.config.mechanism == "gaussian" else 0.0
         if self.accountant is not None:
-            delta = self.config.delta if self.config.mechanism == "gaussian" else 0.0
             self.accountant.charge(epsilon, delta=delta, label=query.name)
 
         metrics_before = self.engine.metrics.snapshot()
 
-        with Timer() as timer:
+        run_span = (
+            tracer.span(
+                "upa.run", query=query.name, epsilon=epsilon,
+                sample_size=self.config.sample_size,
+                mechanism=self.config.mechanism,
+            )
+            if tracer.enabled
+            else NULL_SPAN
+        )
+        with run_span, Timer() as timer:
             reduced = self._sample_and_reduce(query, tables)
             neighbours = reduced.neighbours
-            inferred = infer_output_range(
-                neighbours, reduced.population, self.config.inference
-            )
-            estimated_ls = infer_local_sensitivity(
-                neighbours, reduced.plain, reduced.population,
-                self.config.inference,
-            )
-            partition_outputs = reduced.state.partition_outputs()
-            enforcement = self.enforcer.enforce(reduced.state, inferred)
-            noisy = self._randomize(
-                enforcement.output, inferred.local_sensitivity, epsilon
-            )
+            with tracer.span("phase:inference") if tracer.enabled \
+                    else NULL_SPAN as inference_span:
+                inferred = infer_output_range(
+                    neighbours, reduced.population, self.config.inference
+                )
+                estimated_ls = infer_local_sensitivity(
+                    neighbours, reduced.plain, reduced.population,
+                    self.config.inference,
+                )
+                inference_span.set_attribute(
+                    "local_sensitivity", inferred.local_sensitivity
+                )
+                inference_span.set_attribute(
+                    "neighbour_outputs", int(neighbours.shape[0])
+                )
+            with tracer.span("phase:noise") if tracer.enabled \
+                    else NULL_SPAN as noise_span:
+                partition_outputs = reduced.state.partition_outputs()
+                enforcement = self.enforcer.enforce(reduced.state, inferred)
+                noisy = self._randomize(
+                    enforcement.output, inferred.local_sensitivity, epsilon
+                )
+                noise_span.set_attribute("clamped", enforcement.clamped)
+                noise_span.set_attribute(
+                    "records_removed", enforcement.records_removed
+                )
 
         metrics = self.engine.metrics.snapshot().diff(metrics_before)
         result = UPAResult(
@@ -299,7 +347,58 @@ class UPASession:
         )
         if cache_key is not None:
             self._answer_cache[cache_key] = result
+        self._record_ledger(
+            query, result, epsilon_charged=epsilon, delta=delta,
+            cache_hit=False,
+        )
         return result
+
+    def _record_ledger(
+        self,
+        query: MapReduceQuery,
+        result: UPAResult,
+        *,
+        epsilon_charged: float,
+        delta: float,
+        cache_hit: bool,
+    ) -> None:
+        """Append one audit entry for a release (or cached re-release)."""
+        ledger = self.ledger
+        if ledger is None:
+            return
+        ledger.ensure_header(run_header(
+            epsilon=self.config.epsilon,
+            sample_size=self.config.sample_size,
+            seed=self.config.seed,
+            mechanism=self.config.mechanism,
+        ))
+        spent = remaining = None
+        if self.accountant is not None:
+            spent = float(self.accountant.spent()[0])
+            remaining = float(self.accountant.remaining_epsilon())
+        inferred = result.inferred_range
+        enforcement = result.enforcement
+        ledger.append(make_entry(
+            sequence=ledger.next_sequence(),
+            query=query.name,
+            epsilon_charged=epsilon_charged,
+            delta=delta,
+            mechanism=self.config.mechanism,
+            sample_size=result.sample_size,
+            mean=inferred.mean,
+            std=inferred.std,
+            lower=inferred.lower,
+            upper=inferred.upper,
+            local_sensitivity=result.local_sensitivity,
+            estimated_local_sensitivity=result.estimated_local_sensitivity,
+            clamped=enforcement.clamped,
+            matched_prior=enforcement.matched_prior,
+            records_removed=enforcement.records_removed,
+            accountant_spent_epsilon=spent,
+            accountant_remaining_epsilon=remaining,
+            cache_hit=cache_hit,
+            elapsed_seconds=result.elapsed_seconds,
+        ))
 
     def _static_gate(self, query: MapReduceQuery) -> None:
         """Strict mode: upalint's purity pass at query registration.
@@ -410,10 +509,16 @@ class UPASession:
         runs the union-preserving reduce phase.
         """
         self._run_counter += 1
+        tracer = self.tracer
         rng = make_rng(self.config.seed, f"upa-run-{self._run_counter}")
-        sample = partition_and_sample(
-            query, tables, self.config.sample_size, rng
-        )
+        with tracer.span(
+            "phase:partition_sample", query=query.name,
+            sample_size=self.config.sample_size,
+        ) if tracer.enabled else NULL_SPAN as sample_span:
+            sample = partition_and_sample(
+                query, tables, self.config.sample_size, rng
+            )
+            sample_span.set_attribute("sampled", sample.sample_size)
         aux = query.build_aux(tables)
         state, removal, addition, plain = self._reduce_phase(
             query, aux, sample, rng
@@ -454,50 +559,65 @@ class UPASession:
         sample: PartitionedSample,
         rng: random.Random,
     ) -> Tuple[_PipelineState, np.ndarray, np.ndarray, np.ndarray]:
-        aux_b = self.engine.broadcast(aux)
+        tracer = self.tracer
+        metrics = self.engine.metrics
+        with tracer.span("phase:map", query=query.name) if tracer.enabled \
+                else NULL_SPAN:
+            aux_b = self.engine.broadcast(aux)
 
-        def mapper(record, _q=query, _a=aux_b):
-            return _q.map_record(record, _a.value)
+            def mapper(record, _q=query, _a=aux_b):
+                return _q.map_record(record, _a.value)
 
-        # Parallel Map + per-partition reduce of S' (ReduceByPar, Alg.1 l.7).
-        r_sprime_parts: List[Any] = []
-        for p in range(2):
-            rdd = self.engine.parallelize(
-                sample.remaining[p], max(1, self.config.engine_partitions)
-            )
-            r_sprime_parts.append(
-                rdd.map(mapper).aggregate(query.zero(), query.combine,
-                                          query.combine)
-            )
-        r_sprime = query.combine(r_sprime_parts[0], r_sprime_parts[1])
+            # Parallel Map + per-partition reduce of S' (ReduceByPar,
+            # Alg.1 l.7).
+            r_sprime_parts: List[Any] = []
+            for p in range(2):
+                rdd = self.engine.parallelize(
+                    sample.remaining[p], max(1, self.config.engine_partitions)
+                )
+                r_sprime_parts.append(
+                    rdd.map(mapper).aggregate(query.zero(), query.combine,
+                                              query.combine)
+                )
+            r_sprime = query.combine(r_sprime_parts[0], r_sprime_parts[1])
 
-        # S and S-bar are small (n records each) and already live on the
-        # driver, so they go through the batched mapper directly — one
-        # vectorized call instead of an engine round-trip per batch.
-        mapped_s = query.map_batch(sample.sampled, aux)
-        mapped_sbar = query.map_batch(sample.domain_samples, aux)
+            # S and S-bar are small (n records each) and already live on
+            # the driver, so they go through the batched mapper directly —
+            # one vectorized call instead of an engine round-trip per
+            # batch.
+            mapped_s = query.map_batch(sample.sampled, aux)
+            mapped_sbar = query.map_batch(sample.domain_samples, aux)
+        metrics.observe(
+            MetricsRegistry.NEIGHBOUR_BATCH, query.batch_length(mapped_s)
+        )
+        metrics.observe(
+            MetricsRegistry.NEIGHBOUR_BATCH, query.batch_length(mapped_sbar)
+        )
 
-        fold_s = query.fold_batch(mapped_s)
-        f_x_agg = query.combine(r_sprime, fold_s)
-        plain = query.finalize(f_x_agg, aux)
+        with tracer.span(
+            "phase:reduce", reuse_intermediate=self.config.reuse_intermediate,
+        ) if tracer.enabled else NULL_SPAN:
+            fold_s = query.fold_batch(mapped_s)
+            f_x_agg = query.combine(r_sprime, fold_s)
+            plain = query.finalize(f_x_agg, aux)
 
-        if self.config.reuse_intermediate:
-            removal = self._removal_outputs_reused(
-                query, aux, r_sprime, mapped_s
-            )
-        else:
-            removal = self._removal_outputs_naive(
-                query, aux, sample, mapped_s, mapper
-            )
-        if query.batch_length(mapped_sbar) > 0:
-            addition = np.asarray(
-                query.finalize_batch(
-                    query.combine_batch(f_x_agg, mapped_sbar), aux
-                ),
-                dtype=float,
-            )
-        else:
-            addition = np.empty((0, query.output_dim))
+            if self.config.reuse_intermediate:
+                removal = self._removal_outputs_reused(
+                    query, aux, r_sprime, mapped_s
+                )
+            else:
+                removal = self._removal_outputs_naive(
+                    query, aux, sample, mapped_s, mapper
+                )
+            if query.batch_length(mapped_sbar) > 0:
+                addition = np.asarray(
+                    query.finalize_batch(
+                        query.combine_batch(f_x_agg, mapped_sbar), aux
+                    ),
+                    dtype=float,
+                )
+            else:
+                addition = np.empty((0, query.output_dim))
 
         state = _PipelineState(
             query, aux, r_sprime_parts, mapped_s,

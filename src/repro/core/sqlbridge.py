@@ -435,14 +435,17 @@ def compile_sql(
     name: Optional[str] = None,
 ) -> CompiledSQLQuery:
     """Parse SQL text and compile it for UPA (see :func:`compile_plan`)."""
+    from repro.obs.tracing import trace
     from repro.sql.parser import parse_sql
     from repro.sql.session import SQLSession
 
-    session = SQLSession()
-    for table_name, rows in tables.items():
-        session.create_table(table_name, rows)
-    plan = parse_sql(sql_text, session)
-    return compile_plan(
-        plan, tables, protected_table, domain_sampler,
-        name=name or f"sql:{sql_text[:40]}",
-    )
+    with trace("sqlbridge.compile", sql=sql_text[:120],
+               protected_table=protected_table):
+        session = SQLSession()
+        for table_name, rows in tables.items():
+            session.create_table(table_name, rows)
+        plan = parse_sql(sql_text, session)
+        return compile_plan(
+            plan, tables, protected_table, domain_sampler,
+            name=name or f"sql:{sql_text[:40]}",
+        )

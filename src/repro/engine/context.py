@@ -44,6 +44,9 @@ class EngineContext:
             max_workers=self.config.max_workers,
         )
         self.shuffle_manager = ShuffleManager(self)
+        #: span tracer shared with the scheduler and shuffle manager
+        #: (disabled by default; see install_tracer).
+        self.tracer = self.scheduler.tracer
         self._rdd_ids = itertools.count(1)
         self._lock = threading.Lock()
 
@@ -97,6 +100,31 @@ class EngineContext:
     def install_job_listener(self, listener) -> None:
         """Install (or clear, with None) a job event listener."""
         self.scheduler.job_listener = listener
+
+    def install_tracer(self, tracer, events: bool = True) -> None:
+        """Install (or clear, with None) a span tracer on the engine.
+
+        Engine jobs and shuffles then emit spans into it.  With
+        ``events=True`` (the default) a :class:`JobListener` is
+        auto-wired alongside — traces and the job event log describe
+        the same executions — unless one is already installed.
+        """
+        from repro.engine.events import JobListener
+        from repro.obs.tracing import NULL_TRACER
+
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.scheduler.tracer = self.tracer
+        if (
+            events
+            and self.tracer.enabled
+            and self.scheduler.job_listener is None
+        ):
+            self.install_job_listener(JobListener())
+
+    @property
+    def job_listener(self):
+        """The installed job event listener, if any."""
+        return self.scheduler.job_listener
 
     def clear_shuffle_state(self) -> None:
         """Drop stored shuffle outputs (frees memory between experiments)."""

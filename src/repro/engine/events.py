@@ -9,9 +9,9 @@ Spark's event log / SparkListener.
 from __future__ import annotations
 
 import threading
-import time
-from dataclasses import dataclass, field
-from typing import List, Optional
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List
 
 
 @dataclass(frozen=True)
@@ -32,14 +32,20 @@ class JobListener:
 
     def __init__(self, capacity: int = 10_000):
         self._lock = threading.Lock()
-        self._events: List[JobEvent] = []
+        # deque(maxlen=...) evicts the oldest event in O(1); the old
+        # list implementation paid an O(n) left-shift per eviction,
+        # which compounds when a long session overflows the capacity
+        # on every job.
+        self._events: Deque[JobEvent] = deque(maxlen=capacity)
         self._capacity = capacity
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
 
     def record(self, event: JobEvent) -> None:
         with self._lock:
             self._events.append(event)
-            if len(self._events) > self._capacity:
-                del self._events[: len(self._events) - self._capacity]
 
     def events(self) -> List[JobEvent]:
         with self._lock:

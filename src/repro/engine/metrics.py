@@ -1,40 +1,147 @@
-"""Engine metrics: counters for tasks, shuffles, cache and simulated cost.
+"""Engine metrics: counters, histograms and gauges for the engine.
 
-The reproduction uses metrics in two ways:
+The reproduction uses metrics in three ways:
 
 * tests assert structural facts (e.g. "UPA's joinDP triggers exactly two
   shuffles where vanilla join triggers one", paper section V-C);
 * benchmarks report a deterministic cost model (records shuffled times a
   per-record cost) alongside wall-clock time, because wall-clock on a
-  laptop does not reflect a 40 Gbps cluster but the *structure* does.
+  laptop does not reflect a 40 Gbps cluster but the *structure* does;
+* the observability layer (:mod:`repro.obs`) summarizes distributions —
+  task durations, neighbour batch sizes, shuffle record counts — as
+  percentile summaries in the per-run report.
+
+Counters accumulate, histograms record individual observations (so
+snapshots can diff them), gauges hold the latest value.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Sequence, Tuple
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) with linear interpolation.
+
+    Matches numpy's default ("linear") method but works on plain
+    sequences without an array round-trip.  A single sample is every
+    percentile of itself; tied values interpolate to the tie.
+
+    Raises:
+        ValueError: on an empty sequence or ``q`` outside [0, 100].
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    data = sorted(float(v) for v in values)
+    if not data:
+        raise ValueError("cannot take a percentile of zero samples")
+    if len(data) == 1:
+        return data[0]
+    rank = (q / 100.0) * (len(data) - 1)
+    low = int(rank)
+    high = min(low + 1, len(data) - 1)
+    fraction = rank - low
+    return data[low] + (data[high] - data[low]) * fraction
+
+
+@dataclass(frozen=True)
+class HistogramSummary:
+    """Percentile summary of one histogram's observations.
+
+    An empty histogram summarizes to all-zero statistics with
+    ``count == 0`` (reports render it as "no samples" instead of
+    crashing mid-run).
+    """
+
+    count: int
+    minimum: float
+    maximum: float
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "HistogramSummary":
+        data = [float(v) for v in values]
+        if not data:
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        return cls(
+            count=len(data),
+            minimum=min(data),
+            maximum=max(data),
+            mean=sum(data) / len(data),
+            p50=percentile(data, 50.0),
+            p90=percentile(data, 90.0),
+            p99=percentile(data, 99.0),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p90": self.p90,
+            "p99": self.p99,
+        }
 
 
 @dataclass(frozen=True)
 class MetricsSnapshot:
-    """Immutable snapshot of all counters at a point in time."""
+    """Immutable snapshot of all metrics at a point in time."""
 
     counters: Dict[str, float] = field(default_factory=dict)
+    histograms: Dict[str, Tuple[float, ...]] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
 
     def get(self, name: str) -> float:
         return self.counters.get(name, 0.0)
 
+    def get_gauge(self, name: str) -> float:
+        return self.gauges.get(name, 0.0)
+
+    def histogram(self, name: str) -> Tuple[float, ...]:
+        return self.histograms.get(name, ())
+
+    def summary(self, name: str) -> HistogramSummary:
+        return HistogramSummary.from_values(self.histogram(name))
+
     def diff(self, earlier: "MetricsSnapshot") -> "MetricsSnapshot":
-        """Counters accumulated since ``earlier``."""
+        """Metrics accumulated since ``earlier``.
+
+        Counters subtract; histograms keep the observations appended
+        since ``earlier`` (histograms are append-only, so the earlier
+        snapshot's length is a prefix marker); gauges keep the current
+        value (a "latest value" has no meaningful delta).
+        """
         keys = set(self.counters) | set(earlier.counters)
-        return MetricsSnapshot(
-            {k: self.counters.get(k, 0.0) - earlier.counters.get(k, 0.0) for k in keys}
-        )
+        counters = {
+            k: self.counters.get(k, 0.0) - earlier.counters.get(k, 0.0)
+            for k in keys
+        }
+        histograms = {
+            name: values[len(earlier.histograms.get(name, ())):]
+            for name, values in self.histograms.items()
+        }
+        return MetricsSnapshot(counters, histograms, dict(self.gauges))
+
+    def to_dict(self) -> dict:
+        return {
+            "counters": dict(self.counters),
+            "histograms": {
+                name: HistogramSummary.from_values(values).to_dict()
+                for name, values in self.histograms.items()
+            },
+            "gauges": dict(self.gauges),
+        }
 
 
 class MetricsRegistry:
-    """Thread-safe counter registry attached to an :class:`EngineContext`."""
+    """Thread-safe metrics registry attached to an :class:`EngineContext`."""
 
     #: Counter names used by the engine itself.
     JOBS = "jobs_run"
@@ -50,26 +157,62 @@ class MetricsRegistry:
     BROADCAST_RECORDS = "broadcast_records"
     NETWORK_COST = "simulated_network_cost"
 
+    #: Histogram names used by the engine and the UPA pipeline.
+    TASK_SECONDS = "task_seconds"
+    JOB_SECONDS = "job_seconds"
+    SHUFFLE_RECORDS = "shuffle_records"
+    NEIGHBOUR_BATCH = "neighbour_batch_size"
+
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._counters: Dict[str, float] = {}
+        self._histograms: Dict[str, list] = {}
+        self._gauges: Dict[str, float] = {}
 
     def incr(self, name: str, amount: float = 1.0) -> None:
         """Add ``amount`` to counter ``name`` (creating it at zero)."""
         with self._lock:
             self._counters[name] = self._counters.get(name, 0.0) + amount
 
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into histogram ``name``."""
+        with self._lock:
+            bucket = self._histograms.get(name)
+            if bucket is None:
+                bucket = self._histograms[name] = []
+            bucket.append(float(value))
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to its latest value."""
+        with self._lock:
+            self._gauges[name] = float(value)
+
     def get(self, name: str) -> float:
         with self._lock:
             return self._counters.get(name, 0.0)
 
+    def get_gauge(self, name: str) -> float:
+        with self._lock:
+            return self._gauges.get(name, 0.0)
+
+    def histogram_summary(self, name: str) -> HistogramSummary:
+        with self._lock:
+            values = list(self._histograms.get(name, ()))
+        return HistogramSummary.from_values(values)
+
     def snapshot(self) -> MetricsSnapshot:
         with self._lock:
-            return MetricsSnapshot(dict(self._counters))
+            return MetricsSnapshot(
+                dict(self._counters),
+                {k: tuple(v) for k, v in self._histograms.items()},
+                dict(self._gauges),
+            )
 
     def reset(self) -> None:
         with self._lock:
             self._counters.clear()
+            self._histograms.clear()
+            self._gauges.clear()
 
     def cache_hit_rate(self) -> float:
         """Fraction of block lookups served from cache (0.0 if none)."""

@@ -22,6 +22,7 @@ recreates it.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, Iterator, List, Optional, Sequence, TypeVar
 
@@ -30,6 +31,7 @@ from repro.common.timing import Timer
 from repro.engine.events import JobEvent, JobListener
 from repro.engine.fault import FaultInjector, InjectedFault
 from repro.engine.metrics import MetricsRegistry
+from repro.obs.tracing import NULL_SPAN, NULL_TRACER, Tracer, task_contexts
 
 T = TypeVar("T")
 U = TypeVar("U")
@@ -51,6 +53,9 @@ class TaskScheduler:
         self._max_workers = max_workers
         self.fault_injector: Optional[FaultInjector] = None
         self.job_listener: Optional[JobListener] = None
+        #: span tracer (NULL_TRACER = disabled, the zero-cost default);
+        #: installed via EngineContext.install_tracer.
+        self.tracer: Tracer = NULL_TRACER
         self._stage_ids = iter(range(1, 1 << 62))
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_lock = threading.Lock()
@@ -105,11 +110,37 @@ class TaskScheduler:
             return self._run_task(rdd, func, stage_id, split)
 
         in_task = getattr(self._local, "in_task", False)
-        with Timer() as timer:
+        tracer = self.tracer
+        job_span = (
+            tracer.span(
+                "engine.job",
+                stage_id=stage_id,
+                rdd_id=rdd.rdd_id,
+                rdd_type=type(rdd).__name__,
+                partitions=len(partitions),
+            )
+            if tracer.enabled
+            else NULL_SPAN
+        )
+        with job_span, Timer() as timer:
             if self._use_threads and len(partitions) > 1 and not in_task:
-                results = list(self._executor().map(run_one, partitions))
+                if tracer.enabled:
+                    # Pool threads do not inherit the submitter's
+                    # contextvars; run each task in a copy of this
+                    # context so spans created inside tasks (shuffles,
+                    # nested jobs) parent under the job span.
+                    contexts = task_contexts(len(partitions))
+                    results = list(
+                        self._executor().map(
+                            lambda pair: pair[0].run(run_one, pair[1]),
+                            zip(contexts, partitions),
+                        )
+                    )
+                else:
+                    results = list(self._executor().map(run_one, partitions))
             else:
                 results = [run_one(split) for split in partitions]
+        self._metrics.observe(MetricsRegistry.JOB_SECONDS, timer.elapsed)
         if self.job_listener is not None:
             attempts_after = self._metrics.get(MetricsRegistry.TASKS) + \
                 self._metrics.get(MetricsRegistry.TASK_RETRIES)
@@ -137,8 +168,13 @@ class TaskScheduler:
                 try:
                     if self.fault_injector is not None:
                         self.fault_injector.maybe_fail(stage_id, split, attempts)
+                    started = time.perf_counter()
                     result = func(rdd.iterator(split))
                     self._metrics.incr(MetricsRegistry.TASKS)
+                    self._metrics.observe(
+                        MetricsRegistry.TASK_SECONDS,
+                        time.perf_counter() - started,
+                    )
                     return result
                 except InjectedFault as fault:
                     self._metrics.incr(MetricsRegistry.TASK_RETRIES)

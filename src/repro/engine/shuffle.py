@@ -79,8 +79,23 @@ class ShuffleManager:
         with self._lock:
             if shuffle_id in self._outputs:
                 return
+        tracer = self._context.tracer
+        span = (
+            tracer.span("engine.shuffle", shuffle_id=shuffle_id,
+                        partitions=partitioner.num_partitions,
+                        combined=aggregator is not None)
+            if tracer.enabled
+            else None
+        )
         # Map-side job outside the lock (it may trigger nested shuffles).
-        buckets = self._run_map_side(parent, partitioner, aggregator)
+        if span is not None:
+            with span:
+                buckets = self._run_map_side(parent, partitioner, aggregator)
+                span.set_attribute(
+                    "records", sum(len(bucket) for bucket in buckets)
+                )
+        else:
+            buckets = self._run_map_side(parent, partitioner, aggregator)
         with self._lock:
             if shuffle_id not in self._outputs:
                 self._outputs[shuffle_id] = buckets
@@ -92,6 +107,7 @@ class ShuffleManager:
                     MetricsRegistry.NETWORK_COST,
                     records * self._context.config.shuffle_record_cost,
                 )
+                metrics.observe(MetricsRegistry.SHUFFLE_RECORDS, records)
 
     def _run_map_side(
         self,

@@ -1,0 +1,47 @@
+"""repro.obs: observability for the UPA pipeline.
+
+Three pillars (see ``docs/observability.md``):
+
+* :mod:`repro.obs.tracing` — contextvar-propagated span tracer with
+  Chrome trace-event export; zero-cost when disabled.
+* :mod:`repro.obs.ledger` — append-only privacy audit ledger recording
+  the fitted normal parameters, inferred output range, sensitivity,
+  RANGE ENFORCER outcomes and epsilon charged per release.
+* :mod:`repro.obs.report` — the :class:`ObservedRun` report object and
+  the per-phase/percentile breakdowns behind ``repro report``.
+
+Observer code must never influence query outputs: calling into this
+package from a mapper/reducer is flagged by upalint (UPA011).
+"""
+
+from repro.obs.ledger import LedgerEntry, PrivacyLedger, make_entry
+from repro.obs.report import ObservedRun, SpanStat, run_header
+from repro.obs.tracing import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    current_span,
+    get_tracer,
+    set_tracer,
+    trace,
+    use_tracer,
+)
+
+__all__ = [
+    "LedgerEntry",
+    "NULL_TRACER",
+    "NullTracer",
+    "ObservedRun",
+    "PrivacyLedger",
+    "Span",
+    "SpanStat",
+    "Tracer",
+    "current_span",
+    "get_tracer",
+    "make_entry",
+    "run_header",
+    "set_tracer",
+    "trace",
+    "use_tracer",
+]

@@ -1,0 +1,270 @@
+"""ObservedRun: one report object tying trace + metrics + ledger together.
+
+Consumed two ways:
+
+* **live** — the CLI (or a test) builds it from the session's
+  :class:`~repro.obs.tracing.Tracer`, the engine's
+  :class:`~repro.engine.metrics.MetricsSnapshot` and the
+  :class:`~repro.obs.ledger.PrivacyLedger` right after a run;
+* **from artifacts** — ``repro report --trace t.json --ledger l.jsonl``
+  reloads the Chrome-trace JSON and the ledger JSONL written by an
+  earlier ``repro run`` and renders the same breakdown.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro._version import __version__
+from repro.engine.metrics import HistogramSummary, MetricsSnapshot, percentile
+from repro.obs.ledger import LedgerEntry, PrivacyLedger
+from repro.obs.tracing import Tracer
+
+#: canonical pipeline-phase order (paper Figure 1).
+PHASE_ORDER = (
+    "phase:partition_sample",
+    "phase:map",
+    "phase:reduce",
+    "phase:inference",
+    "phase:noise",
+)
+
+
+def run_header(**extra: Any) -> Dict[str, Any]:
+    """Self-describing header for traces and ledgers.
+
+    Always embeds the package version and python version; callers add
+    the run configuration (epsilon, sample size n, seed, workload) so
+    an artifact can be interpreted without the command line that
+    produced it.
+    """
+    header: Dict[str, Any] = {
+        "repro_version": __version__,
+        "python_version": platform.python_version(),
+    }
+    header.update(extra)
+    return header
+
+
+@dataclass(frozen=True)
+class SpanStat:
+    """Aggregate of every span sharing one name."""
+
+    name: str
+    count: int
+    total_seconds: float
+    mean_seconds: float
+    p50_seconds: float
+    p95_seconds: float
+    max_seconds: float
+
+    @classmethod
+    def from_durations(cls, name: str,
+                       durations: Sequence[float]) -> "SpanStat":
+        data = [float(d) for d in durations]
+        return cls(
+            name=name,
+            count=len(data),
+            total_seconds=sum(data),
+            mean_seconds=sum(data) / len(data) if data else 0.0,
+            p50_seconds=percentile(data, 50.0) if data else 0.0,
+            p95_seconds=percentile(data, 95.0) if data else 0.0,
+            max_seconds=max(data) if data else 0.0,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "count": self.count,
+            "total_seconds": self.total_seconds,
+            "mean_seconds": self.mean_seconds,
+            "p50_seconds": self.p50_seconds,
+            "p95_seconds": self.p95_seconds,
+            "max_seconds": self.max_seconds,
+        }
+
+
+def _aggregate(named_durations: Sequence[Tuple[str, float]]) -> List[SpanStat]:
+    groups: Dict[str, List[float]] = {}
+    first_seen: Dict[str, int] = {}
+    for index, (name, duration) in enumerate(named_durations):
+        groups.setdefault(name, []).append(duration)
+        first_seen.setdefault(name, index)
+    return [
+        SpanStat.from_durations(name, groups[name])
+        for name in sorted(groups, key=first_seen.__getitem__)
+    ]
+
+
+@dataclass
+class ObservedRun:
+    """Everything one observed pipeline execution produced."""
+
+    header: Dict[str, Any] = field(default_factory=dict)
+    #: (span name, duration seconds) pairs in start order.
+    span_durations: List[Tuple[str, float]] = field(default_factory=list)
+    metrics: Optional[MetricsSnapshot] = None
+    ledger_entries: List[LedgerEntry] = field(default_factory=list)
+    ledger_totals: Dict[str, float] = field(default_factory=dict)
+
+    # -- constructors -------------------------------------------------
+    @classmethod
+    def from_live(
+        cls,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsSnapshot] = None,
+        ledger: Optional[PrivacyLedger] = None,
+    ) -> "ObservedRun":
+        header: Dict[str, Any] = {}
+        durations: List[Tuple[str, float]] = []
+        if tracer is not None:
+            header.update(tracer.header)
+            spans = sorted(tracer.spans(), key=lambda s: s.start)
+            durations = [(s.name, s.duration) for s in spans]
+        entries: List[LedgerEntry] = []
+        totals: Dict[str, float] = {}
+        if ledger is not None:
+            header.update(ledger.header)
+            entries = ledger.entries()
+            totals = ledger.totals()
+        return cls(header, durations, metrics, entries, totals)
+
+    @classmethod
+    def from_artifacts(
+        cls,
+        trace_path: Optional[str] = None,
+        ledger_path: Optional[str] = None,
+    ) -> "ObservedRun":
+        header: Dict[str, Any] = {}
+        durations: List[Tuple[str, float]] = []
+        if trace_path is not None:
+            with open(trace_path, "r", encoding="utf-8") as handle:
+                trace = json.load(handle)
+            header.update(trace.get("metadata") or {})
+            events = sorted(
+                (e for e in trace.get("traceEvents", ())
+                 if e.get("ph") == "X"),
+                key=lambda e: e.get("ts", 0.0),
+            )
+            durations = [
+                (e["name"], float(e.get("dur", 0.0)) / 1e6) for e in events
+            ]
+        entries: List[LedgerEntry] = []
+        totals: Dict[str, float] = {}
+        if ledger_path is not None:
+            ledger = PrivacyLedger.read_jsonl(ledger_path)
+            header.update(ledger.header)
+            entries = ledger.entries()
+            totals = ledger.totals()
+        return cls(header, durations, None, entries, totals)
+
+    # -- breakdowns ---------------------------------------------------
+    def phase_stats(self) -> List[SpanStat]:
+        """Per-phase aggregates in canonical pipeline order."""
+        phases = [
+            (name, d) for name, d in self.span_durations
+            if name.startswith("phase:")
+        ]
+        stats = _aggregate(phases)
+        order = {name: i for i, name in enumerate(PHASE_ORDER)}
+        return sorted(stats, key=lambda s: order.get(s.name, len(order)))
+
+    def span_stats(self) -> List[SpanStat]:
+        return _aggregate(self.span_durations)
+
+    def histogram_summaries(self) -> Dict[str, HistogramSummary]:
+        if self.metrics is None:
+            return {}
+        return {
+            name: self.metrics.summary(name)
+            for name in sorted(self.metrics.histograms)
+        }
+
+    # -- rendering ----------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "header": dict(self.header),
+            "phases": [s.to_dict() for s in self.phase_stats()],
+            "spans": [s.to_dict() for s in self.span_stats()],
+            "metrics": self.metrics.to_dict() if self.metrics else None,
+            "ledger": {
+                "totals": dict(self.ledger_totals),
+                "entries": [e.to_dict() for e in self.ledger_entries],
+            },
+        }
+
+    def render_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True,
+                          default=str)
+
+    def render_text(self) -> str:
+        from repro.analysis import format_table
+
+        sections: List[str] = []
+        if self.header:
+            sections.append("header: " + json.dumps(
+                self.header, sort_keys=True, default=str))
+
+        def _stat_rows(stats: Sequence[SpanStat]) -> List[list]:
+            return [
+                [s.name, s.count, f"{s.total_seconds * 1000:.2f}",
+                 f"{s.mean_seconds * 1000:.2f}",
+                 f"{s.p50_seconds * 1000:.2f}",
+                 f"{s.p95_seconds * 1000:.2f}",
+                 f"{s.max_seconds * 1000:.2f}"]
+                for s in stats
+            ]
+
+        headers = ["span", "count", "total ms", "mean ms", "p50 ms",
+                   "p95 ms", "max ms"]
+        phases = self.phase_stats()
+        if phases:
+            sections.append(
+                "pipeline phases:\n" + format_table(headers,
+                                                    _stat_rows(phases))
+            )
+        other = [s for s in self.span_stats()
+                 if not s.name.startswith("phase:")]
+        if other:
+            sections.append(
+                "other spans:\n" + format_table(headers, _stat_rows(other))
+            )
+        histograms = self.histogram_summaries()
+        if histograms:
+            rows = [
+                [name, s.count, f"{s.minimum:g}", f"{s.mean:g}",
+                 f"{s.p50:g}", f"{s.p90:g}", f"{s.p99:g}", f"{s.maximum:g}"]
+                for name, s in histograms.items()
+            ]
+            sections.append(
+                "metric histograms:\n" + format_table(
+                    ["histogram", "count", "min", "mean", "p50", "p90",
+                     "p99", "max"], rows)
+            )
+        if self.ledger_totals:
+            rows = [[k, f"{v:g}"] for k, v in
+                    sorted(self.ledger_totals.items())]
+            sections.append(
+                "privacy ledger totals:\n"
+                + format_table(["field", "value"], rows)
+            )
+        if self.ledger_entries:
+            rows = [
+                [e.sequence, e.query, f"{e.epsilon_charged:g}",
+                 f"{e.local_sensitivity:g}",
+                 "cache" if e.cache_hit else
+                 ("clamped" if e.clamped else "ok"),
+                 e.records_removed]
+                for e in self.ledger_entries
+            ]
+            sections.append(
+                "privacy ledger entries:\n" + format_table(
+                    ["#", "query", "epsilon", "sensitivity", "outcome",
+                     "removed"], rows)
+            )
+        if not sections:
+            return "(no observability artifacts: nothing to report)"
+        return "\n\n".join(sections)

@@ -105,6 +105,16 @@ CODE_REGISTRY: Dict[str, CodeInfo] = {
             "kernel with no scalar reference — or one that writes into "
             "its inputs — can silently change released outputs.",
         ),
+        CodeInfo(
+            "UPA011", "observer-in-monoid", Severity.WARNING,
+            "A monoid method (or batched kernel) calls into repro.obs "
+            "(trace/get_tracer/use_tracer/span/ledger APIs). "
+            "Observability belongs to the pipeline, not the query: "
+            "map/reduce functions replay ~2n times across sampled "
+            "neighbouring datasets, so per-record spans explode trace "
+            "volume, and a ledger touched from a mapper records "
+            "non-private intermediate state.",
+        ),
         # -- plan-stability pass (UPA1xx) ------------------------------
         CodeInfo(
             "UPA101", "unsupported-plan-operator", Severity.ERROR,

@@ -75,6 +75,12 @@ _NON_COMMUTATIVE_OPS = (
     ast.LShift, ast.RShift, ast.MatMult,
 )
 
+#: repro.obs entry points a monoid method has no business calling.
+_OBS_NAMES = {
+    "trace", "get_tracer", "set_tracer", "use_tracer", "current_span",
+    "Tracer", "PrivacyLedger", "make_entry",
+}
+
 
 def _root_name(node: ast.AST) -> Optional[str]:
     """The base Name id of an Attribute/Subscript chain, if any."""
@@ -337,6 +343,63 @@ def _check_combine(src: _MethodSource) -> Iterable[Diagnostic]:
                 )
 
 
+def _obs_call_reason(node: ast.Call) -> Optional[str]:
+    """Why ``node`` looks like a repro.obs call, or None."""
+    func = node.func
+    if isinstance(func, ast.Name) and func.id in _OBS_NAMES:
+        return f"calls {func.id}()"
+    if isinstance(func, ast.Attribute):
+        chain = []
+        probe: ast.AST = func
+        while isinstance(probe, ast.Attribute):
+            chain.append(probe.attr)
+            probe = probe.value
+        chain.reverse()  # e.g. repro.obs.trace -> ["obs", "trace"]
+        if isinstance(probe, ast.Name):
+            dotted = ".".join([probe.id] + chain)
+            if probe.id == "obs" or ".obs." in f".{dotted}.":
+                return f"calls {dotted}()"
+            if chain[-1] in _OBS_NAMES and probe.id in (
+                "tracing", "ledger", "obs",
+            ):
+                return f"calls {dotted}()"
+    return None
+
+
+def _check_obs_calls(src: _MethodSource) -> Iterable[Diagnostic]:
+    """UPA011: monoid methods instrumenting themselves via repro.obs."""
+    suspects: List[Tuple[ast.AST, str]] = []
+    decorator_nodes = {
+        id(n) for deco in src.node.decorator_list for n in ast.walk(deco)
+    }
+    for node in ast.walk(src.node):
+        if isinstance(node, ast.Call) and id(node) not in decorator_nodes:
+            reason = _obs_call_reason(node)
+            if reason:
+                suspects.append((node, reason))
+    for deco in src.node.decorator_list:
+        probe: ast.AST = deco.func if isinstance(deco, ast.Call) else deco
+        name = probe.attr if isinstance(probe, ast.Attribute) else (
+            probe.id if isinstance(probe, ast.Name) else None
+        )
+        if name in _OBS_NAMES:
+            suspects.append((deco, f"is decorated with @{name}"))
+    for node, reason in suspects:
+        yield make_diagnostic(
+            "UPA011",
+            f"{src.where()} {reason}; monoid methods replay ~2n times "
+            "across sampled neighbouring datasets, so per-record "
+            "instrumentation explodes trace volume and can record "
+            "non-private intermediate state",
+            file=src.file,
+            line=src.line_of(node),
+            obj=src.owner_name,
+            hint="remove the repro.obs call — the pipeline already "
+            "traces the map/reduce phases and audits releases",
+            pass_name=PASS,
+        )
+
+
 def _check_build_aux(
     src: _MethodSource, protected: str, declared: bool
 ) -> Iterable[Diagnostic]:
@@ -408,6 +471,7 @@ def _check_batch_kernels(
                 pass_name=PASS,
             )
             continue
+        yield from _check_obs_calls(src)
         if _resolve_method(cls, partner) is None:
             yield make_diagnostic(
                 "UPA010",
@@ -472,6 +536,7 @@ def check_query(query: Any) -> List[Diagnostic]:
             continue
         diagnostics.extend(_check_nondeterminism(src))
         diagnostics.extend(_check_state_mutation(src))
+        diagnostics.extend(_check_obs_calls(src))
         if method_name == "combine":
             diagnostics.extend(_check_combine(src))
         if method_name == "build_aux":

@@ -60,7 +60,47 @@ class TestJobListener:
         for i in range(10):
             listener.record(JobEvent(i, i, "X", 1, 0.0, 1))
         assert len(listener.events()) == 3
-        assert listener.events()[0].stage_id == 7
+        # strictly the newest events, oldest first
+        assert [e.stage_id for e in listener.events()] == [7, 8, 9]
+        assert listener.capacity == 3
+
+    def test_capacity_eviction_under_concurrent_record(self):
+        """Eviction stays ordered and bounded with racing writers."""
+        import threading
+
+        from repro.engine.events import JobEvent
+
+        capacity = 16
+        per_thread = 200
+        num_threads = 8
+        listener = JobListener(capacity=capacity)
+
+        def write(thread_id: int) -> None:
+            for i in range(per_thread):
+                listener.record(
+                    JobEvent(thread_id * per_thread + i, thread_id,
+                             "X", 1, 0.0, 1)
+                )
+
+        threads = [
+            threading.Thread(target=write, args=(t,))
+            for t in range(num_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        events = listener.events()
+        assert len(events) == capacity
+        # Each thread writes increasing stage_ids, so whatever survives
+        # from one thread must be an ordered suffix of its stream —
+        # i.e. eviction dropped that thread's *oldest* events first.
+        for thread_id in range(num_threads):
+            mine = [e.stage_id for e in events if e.rdd_id == thread_id]
+            assert mine == sorted(mine)
+            if mine:
+                assert mine[-1] == (thread_id + 1) * per_thread - 1
 
     def test_summary_and_slow_jobs(self, ctx):
         listener = JobListener()

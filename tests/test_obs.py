@@ -1,0 +1,885 @@
+"""Tests for the observability subsystem: tracing, metrics, ledger.
+
+Covers the repro.obs package in isolation, its integration with the
+engine (span propagation across pool threads, histogram recording, the
+auto-wired JobListener), the UPASession audit trail, and the CLI
+artifact round-trip (``repro run --trace/--ledger`` -> ``repro
+report``).
+"""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.engine import EngineContext
+from repro.engine.metrics import (
+    HistogramSummary,
+    MetricsRegistry,
+    MetricsSnapshot,
+    percentile,
+)
+from repro.obs import (
+    NULL_TRACER,
+    NullTracer,
+    ObservedRun,
+    PrivacyLedger,
+    Tracer,
+    current_span,
+    get_tracer,
+    make_entry,
+    run_header,
+    set_tracer,
+    trace,
+    use_tracer,
+)
+from repro.obs.report import PHASE_ORDER
+
+
+# ---------------------------------------------------------------------------
+# Tracer
+# ---------------------------------------------------------------------------
+
+
+class TestTracer:
+    def test_span_records_timing_and_name(self):
+        tracer = Tracer()
+        with tracer.span("work", size=3) as span:
+            pass
+        assert len(tracer) == 1
+        done = tracer.spans()[0]
+        assert done is span
+        assert done.name == "work"
+        assert done.attributes["size"] == 3
+        assert done.end is not None and done.end >= done.start
+        assert done.duration >= 0.0
+
+    def test_nesting_sets_parent_links(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert current_span() is inner
+            assert current_span() is outer
+        assert current_span() is None
+        inner_done, outer_done = tracer.spans()
+        assert inner_done.name == "inner"
+        assert inner_done.parent_id == outer_done.span_id
+        assert outer_done.parent_id is None
+
+    def test_exception_recorded_and_propagated(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("no")
+        span = tracer.spans()[0]
+        assert span.attributes["error"] == "ValueError"
+        assert span.end is not None
+
+    def test_set_attribute_while_live(self):
+        tracer = Tracer()
+        with tracer.span("s") as span:
+            span.set_attribute("records", 42)
+        assert tracer.spans()[0].attributes["records"] == 42
+
+    def test_find_and_phase_spans(self):
+        tracer = Tracer()
+        with tracer.span("phase:noise"):
+            pass
+        with tracer.span("phase:map"):
+            pass
+        with tracer.span("other"):
+            pass
+        assert [s.name for s in tracer.find("other")] == ["other"]
+        # start order, not completion or canonical order
+        assert [s.name for s in tracer.phase_spans()] == [
+            "phase:noise", "phase:map",
+        ]
+
+    def test_clear(self):
+        tracer = Tracer()
+        with tracer.span("s"):
+            pass
+        tracer.clear()
+        assert len(tracer) == 0
+
+    def test_thread_safety_of_record(self):
+        tracer = Tracer()
+
+        def work():
+            for _ in range(100):
+                with tracer.span("t"):
+                    pass
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(tracer) == 800
+        ids = [s.span_id for s in tracer.spans()]
+        assert len(set(ids)) == 800  # ids unique under contention
+
+    def test_chrome_trace_format(self):
+        tracer = Tracer(header={"workload": "t", "epsilon": 0.5})
+        with tracer.span("outer"):
+            with tracer.span("inner", n=7):
+                pass
+        doc = tracer.to_chrome_trace()
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["metadata"] == {"workload": "t", "epsilon": 0.5}
+        events = doc["traceEvents"]
+        assert len(events) == 2
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0 and event["dur"] >= 0
+            assert isinstance(event["pid"], int)
+            assert "span_id" in event["args"]
+        inner = next(e for e in events if e["name"] == "inner")
+        outer = next(e for e in events if e["name"] == "outer")
+        assert inner["args"]["parent_id"] == outer["args"]["span_id"]
+        assert inner["args"]["n"] == 7
+        json.dumps(doc)  # must be serializable as-is
+
+    def test_write_exports(self, tmp_path):
+        tracer = Tracer(header={"h": 1})
+        with tracer.span("s"):
+            pass
+        chrome = tmp_path / "t.json"
+        tree = tmp_path / "spans.json"
+        tracer.write_chrome_trace(str(chrome))
+        tracer.write_json(str(tree))
+        with open(chrome) as handle:
+            doc = json.load(handle)
+        assert doc["traceEvents"][0]["name"] == "s"
+        with open(tree) as handle:
+            doc = json.load(handle)
+        assert doc["header"] == {"h": 1}
+        assert doc["spans"][0]["name"] == "s"
+
+
+class TestNullTracerAndAmbient:
+    def test_null_tracer_records_nothing(self):
+        assert NULL_TRACER.enabled is False
+        span = NULL_TRACER.span("anything", big=1)
+        with span:
+            span.set_attribute("x", 1)
+        assert len(NULL_TRACER) == 0
+        # every call returns the same shared no-op object
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")
+
+    def test_null_tracer_is_a_tracer(self):
+        assert isinstance(NullTracer(), Tracer)
+
+    def test_ambient_default_is_null(self):
+        assert get_tracer() is NULL_TRACER
+
+    def test_set_tracer_returns_previous(self):
+        tracer = Tracer()
+        previous = set_tracer(tracer)
+        try:
+            assert get_tracer() is tracer
+        finally:
+            set_tracer(previous)
+        assert get_tracer() is previous
+
+    def test_use_tracer_scopes_and_restores(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with trace("scoped", k=1):
+                pass
+        assert get_tracer() is NULL_TRACER
+        assert [s.name for s in tracer.spans()] == ["scoped"]
+        assert tracer.spans()[0].attributes == {"k": 1}
+
+    def test_trace_is_free_when_disabled(self):
+        with trace("ignored"):
+            pass  # ambient is NULL_TRACER: nothing recorded anywhere
+
+    def test_trace_as_decorator(self):
+        tracer = Tracer()
+
+        @trace("decorated")
+        def f(x):
+            return x + 1
+
+        assert f(1) == 2  # disabled: plain call
+        with use_tracer(tracer):
+            assert f(2) == 3
+        assert [s.name for s in tracer.spans()] == ["decorated"]
+
+    def test_trace_decorator_defaults_to_qualname(self):
+        tracer = Tracer()
+
+        @trace()
+        def named():
+            return 1
+
+        with use_tracer(tracer):
+            named()
+        assert "named" in tracer.spans()[0].name
+
+
+# ---------------------------------------------------------------------------
+# Metrics: percentiles, histograms, gauges, snapshot diff
+# ---------------------------------------------------------------------------
+
+
+class TestPercentile:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="zero samples"):
+            percentile([], 50.0)
+
+    def test_out_of_range_q_raises(self):
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            percentile([1.0], 101.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1.0)
+
+    def test_single_sample_is_every_percentile(self):
+        for q in (0.0, 50.0, 99.0, 100.0):
+            assert percentile([7.5], q) == 7.5
+
+    def test_tied_values(self):
+        assert percentile([3.0, 3.0, 3.0, 3.0], 90.0) == 3.0
+
+    def test_matches_numpy_linear_interpolation(self):
+        data = [5.0, 1.0, 9.0, 3.0, 7.0, 2.0]
+        for q in (0, 10, 25, 50, 75, 90, 99, 100):
+            assert percentile(data, q) == pytest.approx(
+                float(np.percentile(data, q))
+            )
+
+    def test_input_order_irrelevant(self):
+        assert percentile([9.0, 1.0, 5.0], 50.0) == 5.0
+
+
+class TestHistogramSummary:
+    def test_empty_summary_is_zeroed(self):
+        summary = HistogramSummary.from_values([])
+        assert summary.count == 0
+        assert summary.mean == 0.0 and summary.p99 == 0.0
+
+    def test_summary_statistics(self):
+        summary = HistogramSummary.from_values([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.minimum == 1.0 and summary.maximum == 4.0
+        assert summary.mean == 2.5
+        assert summary.p50 == 2.5
+
+    def test_to_dict_keys(self):
+        d = HistogramSummary.from_values([1.0]).to_dict()
+        assert set(d) == {"count", "min", "max", "mean", "p50", "p90", "p99"}
+
+
+class TestMetricsRegistry:
+    def test_observe_and_summary(self):
+        registry = MetricsRegistry()
+        for v in (1.0, 2.0, 3.0):
+            registry.observe("lat", v)
+        summary = registry.histogram_summary("lat")
+        assert summary.count == 3 and summary.p50 == 2.0
+        assert registry.histogram_summary("missing").count == 0
+
+    def test_gauges(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("depth", 4)
+        registry.set_gauge("depth", 9)
+        assert registry.get_gauge("depth") == 9.0
+        assert registry.get_gauge("missing") == 0.0
+
+    def test_snapshot_includes_all_stores(self):
+        registry = MetricsRegistry()
+        registry.incr("c")
+        registry.observe("h", 1.5)
+        registry.set_gauge("g", 2.0)
+        snap = registry.snapshot()
+        assert snap.get("c") == 1.0
+        assert snap.histogram("h") == (1.5,)
+        assert snap.get_gauge("g") == 2.0
+        registry.reset()
+        empty = registry.snapshot()
+        assert not empty.counters and not empty.histograms
+        assert not empty.gauges
+
+
+class TestMetricsSnapshotDiff:
+    def test_diff_with_disjoint_counter_keys(self):
+        earlier = MetricsSnapshot(counters={"a": 2.0})
+        later = MetricsSnapshot(counters={"b": 3.0})
+        delta = later.diff(earlier)
+        assert delta.get("a") == -2.0  # reset/absent counts negative
+        assert delta.get("b") == 3.0
+        assert delta.get("missing") == 0.0
+
+    def test_diff_histograms_take_appended_suffix(self):
+        earlier = MetricsSnapshot(histograms={"h": (1.0, 2.0)})
+        later = MetricsSnapshot(histograms={"h": (1.0, 2.0, 3.0, 4.0)})
+        assert later.diff(earlier).histogram("h") == (3.0, 4.0)
+
+    def test_diff_histogram_new_name_keeps_everything(self):
+        earlier = MetricsSnapshot()
+        later = MetricsSnapshot(histograms={"new": (5.0,)})
+        assert later.diff(earlier).histogram("new") == (5.0,)
+
+    def test_diff_histogram_absent_later_is_dropped(self):
+        earlier = MetricsSnapshot(histograms={"old": (1.0,)})
+        later = MetricsSnapshot()
+        assert later.diff(earlier).histogram("old") == ()
+
+    def test_diff_gauges_keep_current_value(self):
+        earlier = MetricsSnapshot(gauges={"g": 1.0})
+        later = MetricsSnapshot(gauges={"g": 5.0})
+        assert later.diff(earlier).get_gauge("g") == 5.0
+
+    def test_engine_level_diff(self):
+        registry = MetricsRegistry()
+        registry.incr("jobs_run")
+        registry.observe("task_seconds", 0.5)
+        before = registry.snapshot()
+        registry.incr("jobs_run")
+        registry.observe("task_seconds", 0.7)
+        delta = registry.snapshot().diff(before)
+        assert delta.get("jobs_run") == 1.0
+        assert delta.histogram("task_seconds") == (0.7,)
+
+
+# ---------------------------------------------------------------------------
+# Privacy ledger
+# ---------------------------------------------------------------------------
+
+
+def _entry(sequence=0, query="q", epsilon=0.1, cache_hit=False,
+           clamped=False, matched_prior=False, removed=0):
+    return make_entry(
+        sequence=sequence,
+        query=query,
+        epsilon_charged=epsilon,
+        delta=0.0,
+        mechanism="laplace",
+        sample_size=100,
+        mean=np.array([1.0, 2.0]),
+        std=np.array([0.1, 0.2]),
+        lower=np.array([0.5, 1.5]),
+        upper=np.array([1.5, 2.5]),
+        local_sensitivity=2.0,
+        estimated_local_sensitivity=1.8,
+        clamped=clamped,
+        matched_prior=matched_prior,
+        records_removed=removed,
+        cache_hit=cache_hit,
+        elapsed_seconds=0.01,
+    )
+
+
+class TestPrivacyLedger:
+    def test_make_entry_normalizes_numpy(self):
+        entry = _entry()
+        assert entry.fitted_mean == (1.0, 2.0)
+        assert isinstance(entry.fitted_mean, tuple)
+        assert isinstance(entry.local_sensitivity, float)
+
+    def test_append_only_no_clear(self):
+        ledger = PrivacyLedger()
+        assert not hasattr(ledger, "clear")
+        ledger.append(_entry(0))
+        ledger.append(_entry(1))
+        assert len(ledger) == 2
+        assert [e.sequence for e in ledger] == [0, 1]
+
+    def test_next_sequence_tracks_length(self):
+        ledger = PrivacyLedger()
+        assert ledger.next_sequence() == 0
+        ledger.append(_entry(0))
+        assert ledger.next_sequence() == 1
+
+    def test_query_filters(self):
+        ledger = PrivacyLedger()
+        ledger.append(_entry(0, query="a"))
+        ledger.append(_entry(1, query="b", clamped=True))
+        ledger.append(_entry(2, query="a", cache_hit=True, epsilon=0.0))
+        assert len(ledger.query(query_name="a")) == 2
+        assert len(ledger.query(clamped=True)) == 1
+        assert len(ledger.query(query_name="a", cache_hit=False)) == 1
+        assert len(ledger.query(matched_prior=True)) == 0
+
+    def test_totals(self):
+        ledger = PrivacyLedger()
+        ledger.append(_entry(0, epsilon=0.1, clamped=True, removed=2))
+        ledger.append(_entry(1, epsilon=0.2, cache_hit=True))
+        totals = ledger.totals()
+        assert totals["entries"] == 2
+        assert totals["epsilon_charged"] == pytest.approx(0.3)
+        assert totals["clamp_count"] == 1
+        assert totals["records_removed"] == 2
+        assert totals["cache_hits"] == 1
+
+    def test_ensure_header_fills_once(self):
+        ledger = PrivacyLedger()
+        ledger.ensure_header({"epsilon": 0.1})
+        ledger.ensure_header({"epsilon": 9.9})
+        assert ledger.header == {"epsilon": 0.1}
+
+    def test_jsonl_round_trip(self, tmp_path):
+        ledger = PrivacyLedger(header={"workload": "t", "epsilon": 0.1})
+        ledger.append(_entry(0))
+        ledger.append(_entry(1, cache_hit=True, epsilon=0.0))
+        path = tmp_path / "ledger.jsonl"
+        ledger.write_jsonl(str(path))
+
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3  # header + 2 entries
+        header = json.loads(lines[0])
+        assert header["format"] == PrivacyLedger.FORMAT
+        assert header["workload"] == "t"
+
+        loaded = PrivacyLedger.read_jsonl(str(path))
+        assert loaded.header == {"workload": "t", "epsilon": 0.1}
+        assert len(loaded) == 2
+        first = loaded.entries()[0]
+        assert first.fitted_mean == (1.0, 2.0)
+        assert first.local_sensitivity == 2.0
+        assert loaded.entries()[1].cache_hit is True
+
+    def test_read_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert len(PrivacyLedger.read_jsonl(str(path))) == 0
+
+
+# ---------------------------------------------------------------------------
+# Engine integration
+# ---------------------------------------------------------------------------
+
+
+class TestEngineTracing:
+    def test_install_tracer_wires_scheduler_and_listener(self):
+        ctx = EngineContext()
+        tracer = Tracer()
+        assert ctx.job_listener is None
+        ctx.install_tracer(tracer)
+        assert ctx.tracer is tracer
+        assert ctx.scheduler.tracer is tracer
+        assert ctx.job_listener is not None  # auto-wired
+
+    def test_install_tracer_without_events(self):
+        ctx = EngineContext()
+        ctx.install_tracer(Tracer(), events=False)
+        assert ctx.job_listener is None
+
+    def test_install_null_tracer_does_not_wire_listener(self):
+        ctx = EngineContext()
+        ctx.install_tracer(NULL_TRACER)
+        assert ctx.job_listener is None
+
+    def test_jobs_emit_spans_with_parents_across_threads(self):
+        ctx = EngineContext()
+        tracer = Tracer()
+        ctx.install_tracer(tracer)
+        with tracer.span("driver"):
+            ctx.parallelize(range(100), 4).map(lambda v: v * 2).collect()
+        jobs = tracer.find("engine.job")
+        assert len(jobs) == 1
+        driver = tracer.find("driver")[0]
+        # the job span parents under the live driver span even though
+        # tasks execute on pool threads
+        assert jobs[0].parent_id == driver.span_id
+        assert jobs[0].attributes["partitions"] == 4
+
+    def test_job_and_task_histograms_recorded(self):
+        ctx = EngineContext()
+        ctx.parallelize(range(10), 2).collect()
+        snap = ctx.metrics.snapshot()
+        assert len(snap.histogram(MetricsRegistry.JOB_SECONDS)) == 1
+        assert len(snap.histogram(MetricsRegistry.TASK_SECONDS)) == 2
+
+    def test_shuffle_span_and_histogram(self):
+        ctx = EngineContext()
+        tracer = Tracer()
+        ctx.install_tracer(tracer)
+        ctx.parallelize([("a", 1), ("b", 2), ("a", 3)], 2).reduce_by_key(
+            lambda a, b: a + b
+        ).collect()
+        shuffles = tracer.find("engine.shuffle")
+        assert len(shuffles) == 1
+        assert shuffles[0].attributes["records"] == 3
+        snap = ctx.metrics.snapshot()
+        assert snap.histogram(MetricsRegistry.SHUFFLE_RECORDS) == (3.0,)
+
+    def test_disabled_tracer_records_nothing(self):
+        ctx = EngineContext()
+        ctx.parallelize(range(10), 2).collect()
+        assert len(NULL_TRACER) == 0
+
+
+# ---------------------------------------------------------------------------
+# Session integration: phases + audit trail
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def observed_session():
+    from repro.core.session import UPAConfig, UPASession
+    from repro.dp.budget import PrivacyAccountant
+    from repro.workloads import workload_by_name
+
+    workload = workload_by_name("tpch1")
+    tables = workload.make_tables(300, 0)
+    tracer = Tracer()
+    ledger = PrivacyLedger()
+    accountant = PrivacyAccountant(total_epsilon=10.0)
+    session = UPASession(
+        UPAConfig(epsilon=1.0, sample_size=50, seed=1, answer_cache=True),
+        accountant=accountant,
+        tracer=tracer,
+        ledger=ledger,
+    )
+    result = session.run(workload.query, tables)
+    cached = session.run(workload.query, tables)  # answer-cache hit
+    return session, tracer, ledger, result, cached
+
+
+class TestSessionObservability:
+    def test_all_five_phases_traced(self, observed_session):
+        _, tracer, _, _, _ = observed_session
+        phase_names = [s.name for s in tracer.phase_spans()]
+        assert phase_names == list(PHASE_ORDER)
+
+    def test_phases_nest_under_run_span(self, observed_session):
+        _, tracer, _, _, _ = observed_session
+        run = tracer.find("upa.run")[0]
+        for span in tracer.phase_spans():
+            assert span.parent_id == run.span_id
+
+    def test_engine_jobs_nest_under_map_phase(self, observed_session):
+        _, tracer, _, _, _ = observed_session
+        map_phase = tracer.find("phase:map")[0]
+        jobs = tracer.find("engine.job")
+        assert jobs and all(j.parent_id == map_phase.span_id for j in jobs)
+
+    def test_ledger_audit_fields(self, observed_session):
+        _, _, ledger, result, _ = observed_session
+        entry = ledger.entries()[0]
+        assert entry.query == "tpch1"
+        assert entry.epsilon_charged == 1.0
+        assert entry.mechanism == "laplace"
+        assert entry.sample_size == 50
+        inferred = result.inferred_range
+        assert entry.fitted_mean == tuple(float(v) for v in
+                                          np.atleast_1d(inferred.mean))
+        assert entry.fitted_std == tuple(float(v) for v in
+                                         np.atleast_1d(inferred.std))
+        assert entry.range_lower == tuple(float(v) for v in
+                                          np.atleast_1d(inferred.lower))
+        assert entry.range_upper == tuple(float(v) for v in
+                                          np.atleast_1d(inferred.upper))
+        assert entry.local_sensitivity == result.local_sensitivity
+        assert entry.clamped == result.enforcement.clamped
+        assert entry.records_removed == result.enforcement.records_removed
+        assert entry.elapsed_seconds > 0
+
+    def test_ledger_tracks_accountant_balance(self, observed_session):
+        session, _, ledger, _, _ = observed_session
+        entry = ledger.entries()[0]
+        assert entry.accountant_spent_epsilon == pytest.approx(1.0)
+        assert entry.accountant_remaining_epsilon == pytest.approx(9.0)
+
+    def test_cache_hit_audited_without_spend(self, observed_session):
+        _, _, ledger, result, cached = observed_session
+        assert len(ledger) == 2
+        hit = ledger.entries()[1]
+        assert hit.cache_hit is True
+        assert hit.epsilon_charged == 0.0
+        assert np.allclose(cached.noisy_output, result.noisy_output)
+        totals = ledger.totals()
+        assert totals["epsilon_charged"] == pytest.approx(1.0)
+        assert totals["cache_hits"] == 1
+
+    def test_session_auto_installs_tracer_into_engine(self, observed_session):
+        session, tracer, _, _, _ = observed_session
+        assert session.engine.tracer is tracer
+        assert session.engine.job_listener is not None
+
+    def test_session_without_obs_stays_null(self):
+        from repro.core.session import UPAConfig, UPASession
+        from repro.workloads import workload_by_name
+
+        workload = workload_by_name("tpch1")
+        tables = workload.make_tables(200, 0)
+        session = UPASession(UPAConfig(sample_size=30, seed=2))
+        session.run(workload.query, tables)
+        assert session.tracer is NULL_TRACER
+        assert session.ledger is None
+        assert session.engine.tracer is NULL_TRACER
+
+    def test_session_follows_ambient_tracer(self):
+        from repro.core.session import UPAConfig, UPASession
+        from repro.workloads import workload_by_name
+
+        workload = workload_by_name("tpch1")
+        tables = workload.make_tables(200, 0)
+        session = UPASession(UPAConfig(sample_size=30, seed=2))
+        tracer = Tracer()
+        with use_tracer(tracer):
+            session.run(workload.query, tables)
+        assert len(tracer.find("upa.run")) == 1
+
+    def test_neighbour_batch_histogram(self, observed_session):
+        session, _, _, _, _ = observed_session
+        values = session.engine.metrics.snapshot().histogram(
+            MetricsRegistry.NEIGHBOUR_BATCH
+        )
+        assert values and all(v == 50.0 for v in values)
+
+
+# ---------------------------------------------------------------------------
+# ObservedRun report
+# ---------------------------------------------------------------------------
+
+
+class TestObservedRun:
+    def test_run_header_contents(self):
+        header = run_header(epsilon=0.1, seed=3)
+        assert header["epsilon"] == 0.1 and header["seed"] == 3
+        assert "repro_version" in header and "python_version" in header
+
+    def test_from_live(self, observed_session):
+        session, tracer, ledger, _, _ = observed_session
+        observed = ObservedRun.from_live(
+            tracer, session.engine.metrics.snapshot(), ledger
+        )
+        stats = observed.phase_stats()
+        assert [s.name for s in stats] == list(PHASE_ORDER)
+        assert all(s.count == 1 for s in stats)
+        assert observed.ledger_totals["entries"] == 2
+        assert "task_seconds" in observed.histogram_summaries()
+
+    def test_phase_stats_canonical_order(self):
+        observed = ObservedRun(span_durations=[
+            ("phase:noise", 0.1), ("phase:map", 0.2), ("other", 0.3),
+        ])
+        assert [s.name for s in observed.phase_stats()] == [
+            "phase:map", "phase:noise",
+        ]
+
+    def test_span_stats_aggregate(self):
+        observed = ObservedRun(span_durations=[
+            ("a", 1.0), ("a", 3.0), ("b", 2.0),
+        ])
+        by_name = {s.name: s for s in observed.span_stats()}
+        assert by_name["a"].count == 2
+        assert by_name["a"].total_seconds == 4.0
+        assert by_name["a"].mean_seconds == 2.0
+        assert by_name["a"].max_seconds == 3.0
+        assert by_name["b"].count == 1
+
+    def test_render_text_empty(self):
+        assert "nothing to report" in ObservedRun().render_text()
+
+    def test_render_json_round_trips(self, observed_session):
+        session, tracer, ledger, _, _ = observed_session
+        observed = ObservedRun.from_live(
+            tracer, session.engine.metrics.snapshot(), ledger
+        )
+        payload = json.loads(observed.render_json())
+        assert len(payload["phases"]) == 5
+        assert payload["ledger"]["totals"]["entries"] == 2
+
+    def test_from_artifacts_round_trip(self, tmp_path, observed_session):
+        _, tracer, ledger, _, _ = observed_session
+        trace_path = tmp_path / "t.json"
+        ledger_path = tmp_path / "l.jsonl"
+        tracer.write_chrome_trace(str(trace_path))
+        ledger.write_jsonl(str(ledger_path))
+        observed = ObservedRun.from_artifacts(
+            trace_path=str(trace_path), ledger_path=str(ledger_path)
+        )
+        assert [s.name for s in observed.phase_stats()] == list(PHASE_ORDER)
+        assert observed.ledger_totals["entries"] == 2
+        text = observed.render_text()
+        assert "pipeline phases" in text
+        assert "privacy ledger totals" in text
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+class TestObservabilityCLI:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_run_writes_trace_and_ledger(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.json"
+        ledger_path = tmp_path / "l.jsonl"
+        assert main([
+            "run", "tpch1", "--scale", "300", "--sample-size", "50",
+            "--trace", str(trace_path), "--ledger", str(ledger_path),
+            "--events",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "trace written" in out
+        assert "privacy ledger written" in out
+        assert "stage=" in out  # --events summary
+
+        with open(trace_path) as handle:
+            doc = json.load(handle)
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert set(PHASE_ORDER) <= names
+        assert doc["metadata"]["workload"] == "tpch1"
+        assert "repro_version" in doc["metadata"]
+
+        ledger = PrivacyLedger.read_jsonl(str(ledger_path))
+        assert len(ledger) == 1
+        entry = ledger.entries()[0]
+        assert entry.query == "tpch1"
+        assert entry.fitted_mean and entry.fitted_std
+        assert entry.range_lower and entry.range_upper
+        assert entry.local_sensitivity > 0
+
+    def test_run_sql_traces_compilation(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.json"
+        assert main([
+            "run-sql", "SELECT COUNT(*) AS n FROM lineitem",
+            "--protect", "lineitem", "--scale", "300",
+            "--trace", str(trace_path),
+        ]) == 0
+        with open(trace_path) as handle:
+            doc = json.load(handle)
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert "sqlbridge.compile" in names
+        assert set(PHASE_ORDER) <= names
+
+    def test_compare_traces_baselines(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.json"
+        assert main([
+            "compare", "tpch1", "--scale", "300",
+            "--trace", str(trace_path),
+        ]) == 0
+        with open(trace_path) as handle:
+            doc = json.load(handle)
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert "baseline.bruteforce" in names
+        assert "baseline.flex" in names
+        assert set(PHASE_ORDER) <= names  # all in ONE comparable trace
+
+    def test_report_from_artifacts(self, tmp_path, capsys):
+        trace_path = tmp_path / "t.json"
+        ledger_path = tmp_path / "l.jsonl"
+        main([
+            "run", "tpch1", "--scale", "300", "--sample-size", "50",
+            "--trace", str(trace_path), "--ledger", str(ledger_path),
+        ])
+        capsys.readouterr()
+        assert main([
+            "report", "--trace", str(trace_path),
+            "--ledger", str(ledger_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline phases" in out
+        assert "phase:partition_sample" in out
+        assert "privacy ledger totals" in out
+
+        assert main([
+            "report", "--trace", str(trace_path),
+            "--ledger", str(ledger_path), "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["phases"]) == 5
+
+    def test_report_requires_artifacts(self, capsys):
+        assert main(["report"]) == 2
+        assert "pass --trace" in capsys.readouterr().err
+
+    def test_report_missing_file(self, tmp_path, capsys):
+        assert main(["report", "--trace",
+                     str(tmp_path / "nope.json")]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# upalint UPA011
+# ---------------------------------------------------------------------------
+
+
+class TestUPA011ObserverInMonoid:
+    def _check(self, query_cls):
+        from repro.staticcheck.purity import check_query
+
+        return [d for d in check_query(query_cls) if d.code == "UPA011"]
+
+    def test_trace_call_in_mapper_flagged(self):
+        from repro.core.query import MapReduceQuery
+
+        class TracedMapper(MapReduceQuery):
+            name = "traced"
+            protected_table = "t"
+
+            def map_record(self, record, aux):
+                with trace("per-record"):
+                    return record["v"]
+
+            def zero(self):
+                return 0.0
+
+            def combine(self, a, b):
+                return a + b
+
+            def finalize(self, agg, aux):
+                return np.array([agg])
+
+        findings = self._check(TracedMapper)
+        assert len(findings) == 1
+        assert findings[0].severity.name == "WARNING"
+        assert "map_record" in findings[0].message
+
+    def test_qualified_obs_call_flagged(self):
+        from repro.core.query import MapReduceQuery
+
+        class QualifiedObs(MapReduceQuery):
+            name = "qualified"
+            protected_table = "t"
+
+            def combine(self, a, b):
+                import repro.obs as obs
+
+                obs.get_tracer()
+                return a + b
+
+        findings = self._check(QualifiedObs)
+        assert len(findings) == 1
+        assert "combine" in findings[0].message
+
+    def test_trace_decorator_flagged(self):
+        from repro.core.query import MapReduceQuery
+
+        class DecoratedFinalize(MapReduceQuery):
+            name = "decorated"
+            protected_table = "t"
+
+            @trace("finalize")
+            def finalize(self, agg, aux):
+                return np.array([agg])
+
+        findings = self._check(DecoratedFinalize)
+        assert len(findings) == 1
+        assert "decorated with" in findings[0].message
+
+    def test_clean_query_not_flagged(self):
+        from repro.tpch.workload import query_by_name
+
+        assert self._check(type(query_by_name("tpch1"))) == []
+
+    def test_registry_has_upa011(self):
+        from repro.staticcheck.diagnostics import CODE_REGISTRY, Severity
+
+        info = CODE_REGISTRY["UPA011"]
+        assert info.title == "observer-in-monoid"
+        assert info.default_severity == Severity.WARNING
