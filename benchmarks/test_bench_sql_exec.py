@@ -1,0 +1,173 @@
+"""Interpreted vs compiled/fused SQL execution (TPC-H Q1/Q6/Q13).
+
+Runs each query's SQL text through two sessions over the same generated
+tables: the interpreted baseline (``compile_expressions=False`` with
+broadcast joins disabled — one ``map``/``filter`` RDD hop per logical
+node, ``Expression.eval`` per row) and the default compiled path
+(codegen'd closures, Scan→Filter→Project fusion into a single
+``map_partitions``, broadcast hash joins, plan cache).  Results must
+agree row for row with ``max_abs_diff == 0`` — the compiled executor is
+an optimization, never a semantics change.
+
+Writes ``BENCH_sql_exec.json`` at the repo root (override with
+``BENCH_SQL_EXEC_OUTPUT``).  Knobs:
+
+* ``BENCH_SQL_EXEC_SCALE`` — lineitem rows to generate (default 8000).
+* ``BENCH_SQL_EXEC_MIN_SPEEDUP`` — per-query gate (default 1.0: the
+  compiled path must never be slower; the committed JSON at the default
+  scale shows well over the 2x the ISSUE requires).
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_sql_exec.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Dict, List
+
+from benchmarks.conftest import emit_report
+from repro.analysis import format_table
+from repro.sql import SQLSession
+from repro.tpch import TPCHConfig, TPCHGenerator, query_by_name
+
+SCALE = int(os.environ.get("BENCH_SQL_EXEC_SCALE", "8000"))
+MIN_SPEEDUP = float(os.environ.get("BENCH_SQL_EXEC_MIN_SPEEDUP", "1.0"))
+OUTPUT = os.environ.get(
+    "BENCH_SQL_EXEC_OUTPUT",
+    os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_sql_exec.json"),
+)
+REPEATS = 3
+SEED = 11
+QUERIES = ("tpch1", "tpch6", "tpch13")
+
+#: queries whose plans contain compilable per-row work (filters,
+#: projections, joins).  Q1 in this reproduction is a bare COUNT(*) —
+#: both paths run the identical aggregate loop, so its speedup is noise
+#: around 1.0 and it is reported but not gated.
+MUST_NOT_REGRESS = ("tpch6", "tpch13")
+
+
+def _session(tables: Dict[str, list], compiled: bool) -> SQLSession:
+    if compiled:
+        session = SQLSession()
+    else:
+        session = SQLSession(
+            compile_expressions=False, broadcast_join_threshold=0
+        )
+    for name, rows in tables.items():
+        session.create_table(name, rows)
+    return session
+
+
+def _time(fn) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _max_abs_diff(a: List[dict], b: List[dict]) -> float:
+    worst = 0.0
+    for row_a, row_b in zip(a, b):
+        for key in row_a:
+            va, vb = row_a[key], row_b[key]
+            if isinstance(va, (int, float)) and isinstance(vb, (int, float)):
+                worst = max(worst, abs(va - vb))
+            elif va != vb:
+                return float("inf")
+    return worst
+
+
+def test_bench_sql_exec():
+    tables = TPCHGenerator(TPCHConfig(scale_rows=SCALE, seed=SEED)).generate()
+    results: Dict[str, Dict[str, Any]] = {}
+    rows: List[list] = []
+    for name in QUERIES:
+        query = query_by_name(name)
+        sql_text = query.sql_text()
+
+        interpreted_session = _session(tables, compiled=False)
+        compiled_session = _session(tables, compiled=True)
+        # Pre-optimize the plans, then time executor.execute(...) per
+        # iteration: one full physical execution per repeat.  (Timing
+        # DataFrame.collect would hit the session plan cache and, for
+        # global aggregates, re-collect an already-materialized row.)
+        interpreted_plan = interpreted_session.optimize_plan(
+            interpreted_session.sql(sql_text).plan
+        )
+        compiled_plan = compiled_session.optimize_plan(
+            compiled_session.sql(sql_text).plan
+        )
+
+        def run_interpreted():
+            return interpreted_session.executor.execute(
+                interpreted_plan
+            ).collect()
+
+        def run_compiled():
+            return compiled_session.executor.execute(compiled_plan).collect()
+
+        interpreted_rows = run_interpreted()
+        compiled_rows = run_compiled()
+        identical = interpreted_rows == compiled_rows
+        max_diff = _max_abs_diff(interpreted_rows, compiled_rows)
+
+        interpreted_seconds = _time(run_interpreted)
+        compiled_seconds = _time(run_compiled)
+        entry = {
+            "rows": len(compiled_rows),
+            "interpreted_seconds": interpreted_seconds,
+            "compiled_seconds": compiled_seconds,
+            "speedup": interpreted_seconds / max(compiled_seconds, 1e-12),
+            "identical": identical,
+            "max_abs_diff": max_diff,
+        }
+        results[name] = entry
+        rows.append(
+            [
+                name,
+                entry["rows"],
+                f"{interpreted_seconds:.4f}",
+                f"{compiled_seconds:.4f}",
+                f"{entry['speedup']:.1f}x",
+                identical,
+            ]
+        )
+
+    payload = {
+        "benchmark": "sql_exec_compiled_vs_interpreted",
+        "scale": SCALE,
+        "repeats": REPEATS,
+        "seed": SEED,
+        "queries": results,
+    }
+    output = os.path.abspath(OUTPUT)
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    report = format_table(
+        ["query", "rows", "interpreted (s)", "compiled (s)", "speedup",
+         "identical"],
+        rows,
+    )
+    report += f"\n\n(JSON written to {output})"
+    emit_report("bench_sql_exec", report)
+
+    # Row-for-row agreement is non-negotiable at any scale.
+    for name, entry in results.items():
+        assert entry["identical"], (name, entry)
+        assert entry["max_abs_diff"] == 0.0, (name, entry)
+    # Speed: the compiled path must never lose where there is compilable
+    # work; the headline 2x+ margins are recorded in the committed JSON
+    # rather than gated here, so the check stays robust on noisy CI.
+    for name in MUST_NOT_REGRESS:
+        assert results[name]["speedup"] >= MIN_SPEEDUP, (
+            name, results[name],
+        )

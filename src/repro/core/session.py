@@ -366,12 +366,23 @@ class UPASession:
         ledger = self.ledger
         if ledger is None:
             return
+        metrics = self.engine.metrics
         ledger.ensure_header(run_header(
             epsilon=self.config.epsilon,
             sample_size=self.config.sample_size,
             seed=self.config.seed,
             mechanism=self.config.mechanism,
         ))
+        # The CLI pre-fills the header at construction, so these
+        # counters must be refreshed on every release, not ensure'd.
+        ledger.update_header(
+            sql_plan_cache_hits=int(
+                metrics.get(MetricsRegistry.SQL_PLAN_CACHE_HITS)
+            ),
+            sql_plan_cache_misses=int(
+                metrics.get(MetricsRegistry.SQL_PLAN_CACHE_MISSES)
+            ),
+        )
         spent = remaining = None
         if self.accountant is not None:
             spent = float(self.accountant.spent()[0])
@@ -465,7 +476,8 @@ class UPASession:
         from repro.core.sqlbridge import compile_sql
 
         query = compile_sql(
-            sql_text, tables, protected_table, domain_sampler=domain_sampler
+            sql_text, tables, protected_table, domain_sampler=domain_sampler,
+            engine=self.engine,
         )
         return self.run(query, tables, epsilon)
 

@@ -32,10 +32,12 @@ class Broadcast(Generic[T]):
         self.broadcast_id = next(_ids)
         self._value = value
         self._destroyed = False
-        records = _estimate_records(value)
+        #: estimated record count, exposed so callers (e.g. the SQL
+        #: broadcast hash join) can report replication size in traces.
+        self.records = _estimate_records(value)
         metrics.incr(MetricsRegistry.BROADCASTS)
-        metrics.incr(MetricsRegistry.BROADCAST_RECORDS, records)
-        metrics.incr(MetricsRegistry.NETWORK_COST, records * record_cost)
+        metrics.incr(MetricsRegistry.BROADCAST_RECORDS, self.records)
+        metrics.incr(MetricsRegistry.NETWORK_COST, self.records * record_cost)
 
     @property
     def value(self) -> T:

@@ -157,6 +157,12 @@ class MetricsRegistry:
     BROADCAST_RECORDS = "broadcast_records"
     NETWORK_COST = "simulated_network_cost"
 
+    #: Counter names used by the SQL layer (plan cache + join planning).
+    SQL_PLAN_CACHE_HITS = "sql.plan_cache.hits"
+    SQL_PLAN_CACHE_MISSES = "sql.plan_cache.misses"
+    SQL_JOIN_BROADCAST = "sql.join.broadcast"
+    SQL_JOIN_SHUFFLE = "sql.join.shuffle"
+
     #: Histogram names used by the engine and the UPA pipeline.
     TASK_SECONDS = "task_seconds"
     JOB_SECONDS = "job_seconds"

@@ -183,6 +183,16 @@ class ObservedRun:
             for name in sorted(self.metrics.histograms)
         }
 
+    def counter_values(self) -> Dict[str, float]:
+        """Non-zero engine/SQL counters (plan cache, join strategy, …)."""
+        if self.metrics is None:
+            return {}
+        return {
+            name: value
+            for name, value in sorted(self.metrics.counters.items())
+            if value
+        }
+
     # -- rendering ----------------------------------------------------
     def to_dict(self) -> dict:
         return {
@@ -231,6 +241,13 @@ class ObservedRun:
         if other:
             sections.append(
                 "other spans:\n" + format_table(headers, _stat_rows(other))
+            )
+        counters = self.counter_values()
+        if counters:
+            rows = [[name, f"{value:g}"] for name, value in counters.items()]
+            sections.append(
+                "engine counters:\n" + format_table(["counter", "value"],
+                                                    rows)
             )
         histograms = self.histogram_summaries()
         if histograms:

@@ -16,6 +16,13 @@ Example:
     [{'n': 2}]
 """
 
+from repro.sql.compiler import (
+    compile_expression,
+    compile_predicate,
+    compile_projection,
+    expr_fingerprint,
+    plan_fingerprint,
+)
 from repro.sql.dataframe import DataFrame
 from repro.sql.expr import Expression, col, lit
 from repro.sql.functions import avg, count, count_distinct, count_star, max_, min_, sum_
@@ -27,11 +34,16 @@ __all__ = [
     "SQLSession",
     "avg",
     "col",
+    "compile_expression",
+    "compile_predicate",
+    "compile_projection",
     "count",
     "count_distinct",
     "count_star",
+    "expr_fingerprint",
     "lit",
     "max_",
     "min_",
+    "plan_fingerprint",
     "sum_",
 ]

@@ -28,6 +28,9 @@ class Catalog:
     def __init__(self, engine):
         self._engine = engine
         self._tables: Dict[str, Table] = {}
+        #: bumped on every register/drop; plan-cache keys include it so
+        #: cached RDDs never outlive the table contents they captured.
+        self.version = 0
 
     def register(
         self,
@@ -41,10 +44,12 @@ class Catalog:
             schema = Schema.from_rows(rows)
         table = Table(name, schema, rows)
         self._tables[name] = table
+        self.version += 1
         return table
 
     def drop(self, name: str) -> None:
-        self._tables.pop(name, None)
+        if self._tables.pop(name, None) is not None:
+            self.version += 1
 
     def table(self, name: str) -> Table:
         try:

@@ -27,6 +27,15 @@ class Expression:
     def eval(self, row: Row) -> Any:
         raise NotImplementedError
 
+    def compiled(self) -> Callable[[Row], Any]:
+        """A codegen'd closure evaluating this expression (see
+        :mod:`repro.sql.compiler`).  Semantically identical to ``eval``
+        but without per-row AST interpretation — use it whenever the
+        same expression is applied in a loop."""
+        from repro.sql.compiler import compile_expression
+
+        return compile_expression(self)
+
     def references(self) -> Set[str]:
         """Column names this expression reads (for pruning/pushdown)."""
         raise NotImplementedError

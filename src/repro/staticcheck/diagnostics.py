@@ -115,6 +115,18 @@ CODE_REGISTRY: Dict[str, CodeInfo] = {
             "volume, and a ledger touched from a mapper records "
             "non-private intermediate state.",
         ),
+        CodeInfo(
+            "UPA012", "eval-loop-in-hot-path", Severity.WARNING,
+            "A monoid method (or batched kernel) calls Expression.eval "
+            "per row — directly in map_record, or inside a loop or "
+            "comprehension. Monoid methods replay ~2n times across "
+            "sampled neighbouring datasets, so per-row AST "
+            "interpretation dominates the replay cost; "
+            "repro.sql.compiler provides semantically identical "
+            "compiled closures (compile_expression/compile_predicate) "
+            "that should be built once in build_aux or __init__ and "
+            "called in the loop.",
+        ),
         # -- plan-stability pass (UPA1xx) ------------------------------
         CodeInfo(
             "UPA101", "unsupported-plan-operator", Severity.ERROR,

@@ -400,6 +400,57 @@ def _check_obs_calls(src: _MethodSource) -> Iterable[Diagnostic]:
         )
 
 
+_LOOP_NODES = (
+    ast.For, ast.While, ast.ListComp, ast.SetComp, ast.DictComp,
+    ast.GeneratorExp,
+)
+
+
+def _eval_calls(node: ast.AST) -> Iterable[ast.Call]:
+    """``X.eval(...)`` attribute calls anywhere under ``node``."""
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr == "eval"
+        ):
+            yield sub
+
+
+def _check_eval_loops(src: _MethodSource) -> Iterable[Diagnostic]:
+    """UPA012: per-row ``Expression.eval`` in a hot path.
+
+    ``map_record`` is itself the body of the ~2n-replay loop, so any
+    ``.eval(`` call there is per-row; in the other monoid methods only
+    calls nested inside a loop or comprehension are flagged.
+    """
+    if src.method_name == "map_record":
+        suspects = list(_eval_calls(src.node))
+    else:
+        suspects = []
+        seen: set = set()
+        for node in ast.walk(src.node):
+            if isinstance(node, _LOOP_NODES):
+                for call in _eval_calls(node):
+                    if id(call) not in seen:
+                        seen.add(id(call))
+                        suspects.append(call)
+    for call in suspects:
+        yield make_diagnostic(
+            "UPA012",
+            f"{src.where()} interprets an expression AST per row "
+            "(.eval() in a replayed hot path); the ~2n neighbour "
+            "replays multiply this cost",
+            file=src.file,
+            line=src.line_of(call),
+            obj=src.owner_name,
+            hint="build a compiled closure once (repro.sql.compiler."
+            "compile_expression / compile_predicate, or "
+            "Expression.compiled()) and call it in the loop",
+            pass_name=PASS,
+        )
+
+
 def _check_build_aux(
     src: _MethodSource, protected: str, declared: bool
 ) -> Iterable[Diagnostic]:
@@ -537,6 +588,7 @@ def check_query(query: Any) -> List[Diagnostic]:
         diagnostics.extend(_check_nondeterminism(src))
         diagnostics.extend(_check_state_mutation(src))
         diagnostics.extend(_check_obs_calls(src))
+        diagnostics.extend(_check_eval_loops(src))
         if method_name == "combine":
             diagnostics.extend(_check_combine(src))
         if method_name == "build_aux":

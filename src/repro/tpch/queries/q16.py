@@ -68,9 +68,9 @@ class Q16(TPCHQuery):
         return joined.agg(count_star("result"))
 
     def build_aux(self, tables: Tables) -> _Aux:
-        matcher = col("s_comment").like(_COMPLAINT_PATTERN)
+        matches = col("s_comment").like(_COMPLAINT_PATTERN).compiled()
         complainers = {
-            s["s_suppkey"] for s in tables["supplier"] if matcher.eval(s)
+            s["s_suppkey"] for s in tables["supplier"] if matches(s)
         }
         counts: Counter = Counter()
         for ps in tables["partsupp"]:

@@ -1,8 +1,11 @@
 """Property-based tests for the SQL layer.
 
-The optimizer must be semantics-preserving on randomized plans, and the
+The optimizer must be semantics-preserving on randomized plans, the
 physical executor must match a straight-line Python reference for
-randomized filter/project/aggregate pipelines.
+randomized filter/project/aggregate pipelines, and the expression
+compiler (repro.sql.compiler) must agree with interpreted ``eval``
+*exactly* — value, None-ness and raised-exception behaviour — on
+randomized expression trees over rows containing NULLs.
 """
 
 from typing import List
@@ -12,7 +15,18 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.sql import SQLSession, col, count_star, sum_
-from repro.sql.expr import BinaryOp, Expression, lit
+from repro.sql.compiler import compile_expression, compile_predicate
+from repro.sql.expr import (
+    BinaryOp,
+    CaseWhen,
+    Expression,
+    FuncCall,
+    InOp,
+    IsNullOp,
+    LikeOp,
+    UnaryOp,
+    lit,
+)
 
 ROWS = st.lists(
     st.fixed_dictionaries(
@@ -114,3 +128,124 @@ class TestOptimizerEquivalence:
         optimized = df.scalar()
         session.enable_optimizer = False
         assert df.scalar() == optimized
+
+
+# ---------------------------------------------------------------------------
+# Compiler vs interpreter equivalence
+# ---------------------------------------------------------------------------
+
+#: rows with NULLs in every column so three-valued logic is exercised.
+NULLABLE_ROWS = st.fixed_dictionaries(
+    {
+        "a": st.one_of(st.none(), st.integers(-10, 10)),
+        "b": st.one_of(st.none(), st.integers(-3, 3)),
+        "c": st.one_of(
+            st.none(), st.sampled_from(["x", "yy", "special requests", ""])
+        ),
+    }
+)
+
+_PATTERNS = ["x%", "%s%", "%special%requests%", "_", "%y_", ""]
+
+
+@st.composite
+def expressions(draw, depth: int = 3) -> Expression:
+    """A random expression tree covering every compilable node type."""
+    if depth <= 0:
+        which = draw(st.integers(0, 2))
+        if which == 0:
+            return col(draw(st.sampled_from(["a", "b", "c"])))
+        if which == 1:
+            return lit(draw(st.one_of(st.none(), st.integers(-10, 10))))
+        return lit(draw(st.sampled_from(["x", "yy", ""])))
+
+    kind = draw(st.integers(0, 8))
+    sub = expressions(depth=depth - 1)
+    if kind == 0:  # comparison / arithmetic / connective
+        op = draw(
+            st.sampled_from(
+                COMPARISONS + ["+", "-", "*", "/", "and", "or"]
+            )
+        )
+        return BinaryOp(op, draw(sub), draw(sub))
+    if kind == 1:
+        return UnaryOp(draw(st.sampled_from(["not", "-"])), draw(sub))
+    if kind == 2:
+        return LikeOp(
+            draw(sub),
+            draw(st.sampled_from(_PATTERNS)),
+            negated=draw(st.booleans()),
+        )
+    if kind == 3:
+        values = draw(
+            st.lists(
+                st.one_of(st.none(), st.integers(-5, 5),
+                          st.sampled_from(["x", "yy"])),
+                min_size=1, max_size=4,
+            )
+        )
+        return InOp(draw(sub), [lit(v) for v in values],
+                    negated=draw(st.booleans()))
+    if kind == 4:
+        return IsNullOp(draw(sub), negated=draw(st.booleans()))
+    if kind == 5:
+        branches = [
+            (draw(sub), draw(sub))
+            for _ in range(draw(st.integers(1, 3)))
+        ]
+        default = draw(sub) if draw(st.booleans()) else None
+        return CaseWhen(branches, default)
+    if kind == 6:
+        name = draw(st.sampled_from(["abs", "coalesce", "length"]))
+        n_args = 2 if name == "coalesce" else 1
+        return FuncCall(name, [draw(sub) for _ in range(n_args)])
+    if kind == 7:
+        return draw(sub).alias("renamed")
+    return draw(sub)
+
+
+def _outcome(fn, row):
+    """(value, type) on success, ('raise', exception type) on failure."""
+    try:
+        value = fn(row)
+    except Exception as exc:  # noqa: BLE001 — parity includes errors
+        return ("raise", type(exc))
+    return (value, type(value))
+
+
+class TestCompilerEquivalence:
+    @given(row=NULLABLE_ROWS, expr=expressions())
+    @settings(max_examples=300, deadline=None)
+    def test_compiled_matches_interpreted(self, row, expr):
+        compiled = compile_expression(expr)
+        assert _outcome(compiled, row) == _outcome(expr.eval, row)
+
+    @given(row=NULLABLE_ROWS, expr=expressions())
+    @settings(max_examples=150, deadline=None)
+    def test_compiled_predicate_matches_truthiness(self, row, expr):
+        predicate = compile_predicate(expr)
+        interpreted = _outcome(lambda r: bool(expr.eval(r)), row)
+        assert _outcome(predicate, row) == interpreted
+
+    @given(row=NULLABLE_ROWS, expr=expressions())
+    @settings(max_examples=150, deadline=None)
+    def test_missing_column_error_parity(self, row, expr):
+        probe = {"q": 1}  # none of a/b/c present
+        compiled = compile_expression(expr)
+        assert _outcome(compiled, probe) == _outcome(expr.eval, probe)
+
+    @given(rows=st.lists(NULLABLE_ROWS, min_size=1, max_size=30),
+           predicate=expressions())
+    @settings(max_examples=60, deadline=None)
+    def test_sessions_agree_compiled_vs_interpreted(self, rows, predicate):
+        def run(**kwargs):
+            session = SQLSession(**kwargs)
+            session.create_table("t", rows)
+            try:
+                return session.table("t").filter(predicate).collect()
+            except Exception as exc:  # noqa: BLE001 — error parity
+                return ("raise", type(exc))
+
+        compiled = run()
+        interpreted = run(compile_expressions=False)
+        assert compiled == interpreted

@@ -181,6 +181,41 @@ class CleanBatchQuery(_FixtureBase):
         return float(agg) + np.asarray(elements, dtype=float)
 
 
+class EvalMapperQuery(_FixtureBase):
+    """UPA012: per-row Expression.eval in map_record."""
+
+    name = "bad-eval-mapper"
+
+    def map_record(self, record: Row, aux: Any) -> float:
+        from repro.sql.expr import col
+
+        return 1.0 if col("v").eval(record) else 0.0
+
+
+class EvalLoopAuxQuery(_FixtureBase):
+    """UPA012: Expression.eval inside a build_aux loop."""
+
+    name = "bad-eval-aux"
+
+    def build_aux(self, tables: Tables) -> Any:
+        from repro.sql.expr import col
+
+        matcher = col("v") > 0
+        return sum(1 for row in tables["t"] if matcher.eval(row))
+
+
+class CompiledAuxQuery(_FixtureBase):
+    """Compiled closure in the loop: no UPA012."""
+
+    name = "good-compiled-aux"
+
+    def build_aux(self, tables: Tables) -> Any:
+        from repro.sql.expr import col
+
+        matches = (col("v") > 0).compiled()
+        return sum(1 for row in tables["t"] if matches(row))
+
+
 def _codes(diagnostics):
     return {d.code for d in diagnostics}
 
@@ -255,6 +290,32 @@ class TestPurityPass:
                       LinearRegressionQuery()):
             assert not [
                 d for d in check_query(query) if d.code == "UPA010"
+            ]
+
+    def test_eval_in_map_record_flagged(self):
+        diags = check_query(EvalMapperQuery())
+        (diag,) = [d for d in diags if d.code == "UPA012"]
+        assert diag.severity == Severity.WARNING
+        assert "per row" in diag.message
+        assert "compile" in (diag.hint or "")
+
+    def test_eval_loop_in_build_aux_flagged(self):
+        diags = check_query(EvalLoopAuxQuery())
+        assert "UPA012" in _codes(diags)
+
+    def test_compiled_closure_loop_is_clean(self):
+        assert not [
+            d for d in check_query(CompiledAuxQuery())
+            if d.code == "UPA012"
+        ]
+
+    def test_shipped_workloads_have_no_upa012(self):
+        from repro.tpch import query_by_name
+
+        for name in ("tpch13", "tpch16"):
+            assert not [
+                d for d in check_query(query_by_name(name))
+                if d.code == "UPA012"
             ]
 
     def test_source_unavailable_is_info_not_crash(self):
@@ -487,7 +548,7 @@ class TestRenderersAndRegistry:
     def test_every_diagnostic_code_is_registered(self):
         assert set(CODE_REGISTRY) == {
             "UPA001", "UPA002", "UPA003", "UPA004", "UPA005", "UPA006",
-            "UPA010", "UPA011",
+            "UPA010", "UPA011", "UPA012",
             "UPA101", "UPA102", "UPA103", "UPA104",
             "UPA201", "UPA202", "UPA203",
         }
