@@ -20,6 +20,12 @@ raw kernel-vs-kernel ratio and the enabled-tracer cost are recorded in
 the JSON artifact for the curious (enabled tracing is allowed to cost
 something).
 
+A second test holds the *enabled* live-monitoring stack to the same
+bound at run granularity: a real ``UPASession.run`` with tracer,
+ledger, alert engine, a sampling profiler, and a Prometheus render per
+run (one scrape's worth of work) must stay within 5 % of a bare
+session run.
+
 Writes ``BENCH_obs_overhead.json`` at the repo root (override with
 ``BENCH_OBS_OUTPUT``).  Knobs:
 
@@ -59,6 +65,14 @@ SEED = 17
 
 #: the acceptance bound: disabled tracing must stay under this.
 MAX_DISABLED_OVERHEAD = 0.05
+
+#: the enabled live stack (tracer + ledger + alerts + profiler + one
+#: Prometheus render) is held to the same bound per session run.
+MAX_LIVE_OVERHEAD = 0.05
+
+#: sampling rate used by the live-overhead test — the default 100 Hz
+#: halved, matching what a run monitored over a few seconds needs.
+LIVE_PROFILER_HZ = 50.0
 
 #: spans the instrumented session enters per run (upa.run + five
 #: phases + two engine.job spans) — the granularity we reproduce here.
@@ -142,6 +156,61 @@ def _session_run_seconds(workload, tables) -> float:
 
     session = UPASession(UPAConfig(epsilon=0.1, sample_size=N, seed=SEED))
     return _time(session.run, workload.query, tables)
+
+
+def _timed_session_run(workload, tables, live: bool) -> float:
+    """Best-of-``REPEATS`` wall time of one full session run.
+
+    ``live=True`` runs the whole monitoring stack the way ``repro run
+    --serve --profile`` wires it: in-memory tracer, ledger with an
+    attached alert engine, a sampling profiler, and one Prometheus
+    render of the engine's metrics snapshot (one scrape's worth of
+    exporter work).  Both paths construct the session inside the timed
+    region so setup cost cancels.
+    """
+    from repro.core.session import UPAConfig, UPASession
+    from repro.obs.exporters import render_prometheus
+    from repro.obs.ledger import PrivacyLedger
+    from repro.obs.profiler import SamplingProfiler
+
+    def bare_once():
+        session = UPASession(
+            UPAConfig(epsilon=0.1, sample_size=N, seed=SEED)
+        )
+        session.run(workload.query, tables)
+
+    def live_once():
+        session = UPASession(
+            UPAConfig(epsilon=0.1, sample_size=N, seed=SEED),
+            tracer=Tracer(),
+            ledger=PrivacyLedger(),
+        )
+        session.attach_alerts()
+        profiler = SamplingProfiler(hz=LIVE_PROFILER_HZ)
+        profiler.start()
+        try:
+            session.run(workload.query, tables)
+        finally:
+            profiler.stop()
+        render_prometheus(session.engine.metrics.snapshot())
+
+    return _time(live_once if live else bare_once)
+
+
+def _measure_live(name: str) -> Dict[str, Any]:
+    workload = workload_by_name(name)
+    tables = cached_tables(workload, SCALE, seed=SEED)
+    bare = _timed_session_run(workload, tables, live=False)
+    live = _timed_session_run(workload, tables, live=True)
+    added = max(0.0, live - bare)
+    return {
+        "n": N,
+        "bare_run_seconds": bare,
+        "live_run_seconds": live,
+        "added_seconds": added,
+        "live_overhead": added / bare,
+        "profiler_hz": LIVE_PROFILER_HZ,
+    }
 
 
 def _measure(name: str) -> Dict[str, Any]:
@@ -232,3 +301,44 @@ def test_bench_disabled_tracer_overhead():
         assert entry["disabled_overhead"] < MAX_DISABLED_OVERHEAD, (
             name, entry,
         )
+
+
+def test_bench_live_monitoring_overhead():
+    """The enabled live stack must cost < 5 % of a bare session run."""
+    results: Dict[str, Dict[str, Any]] = {}
+    rows: List[list] = []
+    for name in WORKLOADS:
+        entry = _measure_live(name)
+        results[name] = entry
+        rows.append(
+            [
+                name,
+                entry["n"],
+                f"{entry['bare_run_seconds'] * 1000:.3f}",
+                f"{entry['live_run_seconds'] * 1000:.3f}",
+                f"{entry['live_overhead'] * 100:+.3f}%",
+            ]
+        )
+
+    # Merge into the same artifact the disabled-overhead test writes.
+    output = os.path.abspath(OUTPUT)
+    payload: Dict[str, Any] = {}
+    if os.path.exists(output):
+        with open(output, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    payload.setdefault("benchmark", "disabled_tracer_overhead")
+    payload["max_live_overhead"] = MAX_LIVE_OVERHEAD
+    payload["live"] = results
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    report = format_table(
+        ["query", "n", "bare run (ms)", "live run (ms)", "live ovh"],
+        rows,
+    )
+    report += f"\n\n(JSON written to {output})"
+    emit_report("bench_obs_overhead_live", report)
+
+    for name, entry in results.items():
+        assert entry["live_overhead"] < MAX_LIVE_OVERHEAD, (name, entry)

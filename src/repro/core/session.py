@@ -241,11 +241,71 @@ class UPASession:
         self._answer_cache: dict = {}
         #: query classes already cleared by the strict-mode static gate.
         self._lint_cleared: set = set()
+        #: alert engine wired by serve() (or attach_alerts()); None
+        #: until then.
+        self.alert_engine = None
+        #: live introspection server, if serve() started one.
+        self.obs_server = None
 
     @property
     def tracer(self) -> Tracer:
         """The effective tracer: explicit if given, else the ambient one."""
         return self._tracer if self._tracer is not None else get_tracer()
+
+    def attach_alerts(self, engine=None):
+        """Wire an alert engine to this session's ledger and accountant.
+
+        With no argument, builds one over the default rules (budget
+        burn rate, sensitivity drift, clamp rate).  Firings then land
+        in the ledger header, the live ``/healthz`` endpoint, and the
+        CLI's exit summary.  Idempotent: a second call returns the
+        already-attached engine.
+        """
+        from repro.obs.alerts import AlertEngine
+
+        if self.alert_engine is not None:
+            return self.alert_engine
+        if engine is None:
+            engine = AlertEngine(accountant=self.accountant)
+        elif engine.accountant is None:
+            engine.accountant = self.accountant
+        if self.ledger is not None:
+            engine.attach(self.ledger)
+        self.alert_engine = engine
+        return engine
+
+    def serve(self, port: int = 0, host: str = "127.0.0.1",
+              alerts: bool = True, profiler=None):
+        """Start live monitoring endpoints over this session.
+
+        Wires everything the session owns — engine metrics, the
+        effective tracer, the privacy ledger, the accountant, an alert
+        engine (built via :meth:`attach_alerts` unless ``alerts`` is
+        False) and an optional :class:`~repro.obs.profiler
+        .SamplingProfiler` — into one
+        :class:`~repro.obs.server.ObservabilityServer`.  ``port=0``
+        binds an ephemeral port; read ``.url`` off the returned server.
+        Stop it with ``session.obs_server.stop()`` (or let the daemon
+        thread die with the process).
+        """
+        from repro.obs.tracing import NULL_TRACER
+
+        if self.obs_server is not None:
+            return self.obs_server
+        engine = self.attach_alerts() if alerts else None
+        tracer = self.tracer
+        self.obs_server = self.engine.serve(
+            port=port, host=host,
+            tracer=tracer if tracer is not NULL_TRACER else None,
+            ledger=self.ledger,
+            accountants=(
+                {"session": self.accountant}
+                if self.accountant is not None else None
+            ),
+            alerts=engine,
+            profiler=profiler,
+        )
+        return self.obs_server
 
     # ------------------------------------------------------------------
     # Public API

@@ -47,6 +47,8 @@ class EngineContext:
         #: span tracer shared with the scheduler and shuffle manager
         #: (disabled by default; see install_tracer).
         self.tracer = self.scheduler.tracer
+        #: live introspection server, if serve() started one.
+        self.obs_server = None
         self._rdd_ids = itertools.count(1)
         self._lock = threading.Lock()
 
@@ -130,6 +132,30 @@ class EngineContext:
         """Drop stored shuffle outputs (frees memory between experiments)."""
         self.shuffle_manager.clear()
 
+    def serve(self, port: int = 0, host: str = "127.0.0.1",
+              **sources: Any):
+        """Start a live introspection server over this engine.
+
+        Exposes the engine's metrics registry (and its tracer, when one
+        is installed) on ``/metrics``, ``/healthz``, ``/traces``;
+        ``sources`` forwards extra data sources (``ledger=``,
+        ``accountants=``, ``alerts=``, ``profiler=``) straight to
+        :class:`~repro.obs.server.ObservabilityServer`.  ``port=0``
+        binds an ephemeral port; the started server is returned and
+        also stopped by :meth:`stop`.
+        """
+        from repro.obs.server import ObservabilityServer
+        from repro.obs.tracing import NULL_TRACER
+
+        if self.obs_server is not None:
+            return self.obs_server
+        tracer = self.tracer if self.tracer is not NULL_TRACER else None
+        sources.setdefault("tracer", tracer)
+        self.obs_server = ObservabilityServer(
+            metrics=self.metrics, host=host, port=port, **sources
+        ).start()
+        return self.obs_server
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -142,6 +168,9 @@ class EngineContext:
         job lazily recreates the pool, mirroring how ``SparkContext``
         users call ``stop()`` when an application finishes.
         """
+        if self.obs_server is not None:
+            self.obs_server.stop()
+            self.obs_server = None
         self.scheduler.shutdown()
         self.shuffle_manager.clear()
 

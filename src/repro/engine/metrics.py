@@ -17,6 +17,7 @@ snapshots can diff them), gauges hold the latest value.
 
 from __future__ import annotations
 
+import math
 import threading
 from dataclasses import dataclass, field
 from typing import Dict, Sequence, Tuple
@@ -62,20 +63,29 @@ class HistogramSummary:
     p50: float
     p90: float
     p99: float
+    #: p95 and the population standard deviation feed the Prometheus
+    #: exporter's quantile gauges; they default so older positional
+    #: constructions (and pickles) keep working.
+    p95: float = 0.0
+    stddev: float = 0.0
 
     @classmethod
     def from_values(cls, values: Sequence[float]) -> "HistogramSummary":
         data = [float(v) for v in values]
         if not data:
             return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        mean = sum(data) / len(data)
+        variance = sum((v - mean) ** 2 for v in data) / len(data)
         return cls(
             count=len(data),
             minimum=min(data),
             maximum=max(data),
-            mean=sum(data) / len(data),
+            mean=mean,
             p50=percentile(data, 50.0),
             p90=percentile(data, 90.0),
             p99=percentile(data, 99.0),
+            p95=percentile(data, 95.0),
+            stddev=math.sqrt(variance),
         )
 
     def to_dict(self) -> dict:
@@ -86,7 +96,9 @@ class HistogramSummary:
             "mean": self.mean,
             "p50": self.p50,
             "p90": self.p90,
+            "p95": self.p95,
             "p99": self.p99,
+            "stddev": self.stddev,
         }
 
 
@@ -116,7 +128,11 @@ class MetricsSnapshot:
         Counters subtract; histograms keep the observations appended
         since ``earlier`` (histograms are append-only, so the earlier
         snapshot's length is a prefix marker); gauges keep the current
-        value (a "latest value" has no meaningful delta).
+        value (a "latest value" has no meaningful delta).  A gauge that
+        exists only in ``earlier`` was deleted in between
+        (``MetricsRegistry.delete_gauge``) and must not linger in the
+        diff with its stale value — only gauges still present in *this*
+        snapshot survive.
         """
         keys = set(self.counters) | set(earlier.counters)
         counters = {
@@ -127,7 +143,8 @@ class MetricsSnapshot:
             name: values[len(earlier.histograms.get(name, ())):]
             for name, values in self.histograms.items()
         }
-        return MetricsSnapshot(counters, histograms, dict(self.gauges))
+        gauges = {name: value for name, value in self.gauges.items()}
+        return MetricsSnapshot(counters, histograms, gauges)
 
     def to_dict(self) -> dict:
         return {
@@ -192,6 +209,18 @@ class MetricsRegistry:
         """Set gauge ``name`` to its latest value."""
         with self._lock:
             self._gauges[name] = float(value)
+
+    def delete_gauge(self, name: str) -> None:
+        """Drop gauge ``name`` (no-op if absent).
+
+        A gauge is a "latest value", and some latest values stop being
+        meaningful — a per-run gauge after the run, a per-session gauge
+        after the session.  Deleting it keeps it out of later snapshots
+        and out of every ``/metrics`` scrape, instead of exporting a
+        stale reading forever.
+        """
+        with self._lock:
+            self._gauges.pop(name, None)
 
     def get(self, name: str) -> float:
         with self._lock:

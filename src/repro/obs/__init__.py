@@ -1,6 +1,6 @@
 """repro.obs: observability for the UPA pipeline.
 
-Three pillars (see ``docs/observability.md``):
+Post-hoc pillars (see ``docs/observability.md``):
 
 * :mod:`repro.obs.tracing` — contextvar-propagated span tracer with
   Chrome trace-event export; zero-cost when disabled.
@@ -10,17 +10,54 @@ Three pillars (see ``docs/observability.md``):
 * :mod:`repro.obs.report` — the :class:`ObservedRun` report object and
   the per-phase/percentile breakdowns behind ``repro report``.
 
+Live-monitoring pillars (same doc, "Live monitoring"):
+
+* :mod:`repro.obs.exporters` — Prometheus text exposition and
+  OTLP-style JSON over metrics snapshots and span trees.
+* :mod:`repro.obs.server` — the :class:`ObservabilityServer` HTTP
+  endpoints (``/metrics``, ``/healthz``, ``/ledger``, ``/traces``,
+  ``/budget``, ``/profile``) behind ``repro … --serve``.
+* :mod:`repro.obs.alerts` — declarative :class:`AlertRule`s (budget
+  burn rate, sensitivity drift, clamp rate) driven by ledger appends
+  and metrics scrapes.
+* :mod:`repro.obs.profiler` — the span-attributing
+  :class:`SamplingProfiler` with collapsed-stack export.
+
 Observer code must never influence query outputs: calling into this
-package from a mapper/reducer is flagged by upalint (UPA011).
+package from a mapper/reducer is flagged by upalint (UPA011), and
+starting a server/profiler there by UPA013.
 """
 
+from repro.obs.alerts import (
+    Alert,
+    AlertEngine,
+    AlertRule,
+    BudgetBurnRule,
+    ClampRateRule,
+    GaugeThresholdRule,
+    SensitivityDriftRule,
+    default_rules,
+)
+from repro.obs.exporters import (
+    render_otlp_metrics,
+    render_otlp_spans,
+    render_prometheus,
+    sanitize_metric_name,
+)
 from repro.obs.ledger import LedgerEntry, PrivacyLedger, make_entry
+from repro.obs.profiler import (
+    SamplingProfiler,
+    parse_collapsed,
+    span_table_from_collapsed,
+)
 from repro.obs.report import ObservedRun, SpanStat, run_header
+from repro.obs.server import ObservabilityServer
 from repro.obs.tracing import (
     NULL_TRACER,
     NullTracer,
     Span,
     Tracer,
+    active_span_chain,
     current_span,
     get_tracer,
     set_tracer,
@@ -29,19 +66,36 @@ from repro.obs.tracing import (
 )
 
 __all__ = [
+    "Alert",
+    "AlertEngine",
+    "AlertRule",
+    "BudgetBurnRule",
+    "ClampRateRule",
+    "GaugeThresholdRule",
     "LedgerEntry",
     "NULL_TRACER",
     "NullTracer",
+    "ObservabilityServer",
     "ObservedRun",
     "PrivacyLedger",
+    "SamplingProfiler",
+    "SensitivityDriftRule",
     "Span",
     "SpanStat",
     "Tracer",
+    "active_span_chain",
     "current_span",
+    "default_rules",
     "get_tracer",
     "make_entry",
+    "parse_collapsed",
+    "render_otlp_metrics",
+    "render_otlp_spans",
+    "render_prometheus",
     "run_header",
+    "sanitize_metric_name",
     "set_tracer",
+    "span_table_from_collapsed",
     "trace",
     "use_tracer",
 ]

@@ -19,10 +19,14 @@ report``.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
+import warnings
 from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, Iterator, List, Optional, Sequence, TextIO, Tuple
+from typing import (
+    Any, Callable, Dict, Iterator, List, Optional, Sequence, TextIO, Tuple,
+)
 
 
 def _as_floats(values: Any) -> Tuple[float, ...]:
@@ -101,6 +105,15 @@ class PrivacyLedger:
         self._lock = threading.Lock()
         self._entries: List[LedgerEntry] = []
         self.header: Dict[str, Any] = dict(header or {})
+        #: observers called with each appended entry (alert engines,
+        #: incremental JSONL flushers).  Observer code must never break
+        #: a release, so exceptions are swallowed with a warning.
+        self._listeners: List[Callable[[LedgerEntry], None]] = []
+
+    def add_listener(self, listener: Callable[[LedgerEntry], None]) -> None:
+        """Register ``listener`` to be called after every append."""
+        with self._lock:
+            self._listeners.append(listener)
 
     def ensure_header(self, header: Dict[str, Any]) -> None:
         """Fill the header once; later calls are no-ops (the first
@@ -120,6 +133,20 @@ class PrivacyLedger:
     def append(self, entry: LedgerEntry) -> None:
         with self._lock:
             self._entries.append(entry)
+            listeners = list(self._listeners)
+        # Outside the lock: a listener may read the ledger (entries(),
+        # update_header()) without deadlocking.
+        for listener in listeners:
+            try:
+                listener(entry)
+            except Exception as exc:  # noqa: BLE001 - observer isolation
+                warnings.warn(
+                    f"ledger listener {listener!r} raised "
+                    f"{type(exc).__name__}: {exc}; entry {entry.sequence} "
+                    "was recorded, the listener was skipped",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
 
     def next_sequence(self) -> int:
         with self._lock:
@@ -185,22 +212,78 @@ class PrivacyLedger:
                 + "\n"
             )
 
+    def append_jsonl(self, path: str, entry: LedgerEntry) -> None:
+        """Flush one entry to ``path`` incrementally (append mode).
+
+        Writes the self-describing header line first when the file does
+        not exist yet (or is empty), then appends the entry — so a
+        ledger being recorded release by release is valid JSONL at
+        every instant, and ``repro report`` / the ``/ledger`` endpoint
+        can read it while the run is still in flight.  Contrast with
+        :meth:`write_jsonl`, which rewrites the whole file.
+        """
+        with self._lock:
+            header = {"format": self.FORMAT, **self.header}
+        needs_header = (
+            not os.path.exists(path) or os.path.getsize(path) == 0
+        )
+        with open(path, "a", encoding="utf-8") as handle:
+            if needs_header:
+                handle.write(json.dumps(header, sort_keys=True, default=str)
+                             + "\n")
+            handle.write(
+                json.dumps(entry.to_dict(), sort_keys=True, default=str)
+                + "\n"
+            )
+            handle.flush()
+
     @classmethod
     def read_jsonl(cls, path: str) -> "PrivacyLedger":
-        """Load a ledger written by :meth:`write_jsonl`."""
+        """Load a ledger written by :meth:`write_jsonl`/:meth:`append_jsonl`.
+
+        Crash-safe by design: blank lines are skipped, and a truncated
+        or otherwise corrupt line — the normal state of the *final*
+        line while another process is appending — produces a
+        :class:`RuntimeWarning` and is dropped instead of raising, so
+        live readers (``/ledger``, ``repro report``) always get the
+        longest valid prefix.
+        """
         with open(path, "r", encoding="utf-8") as handle:
             lines = [line for line in handle if line.strip()]
         if not lines:
             return cls()
-        header = json.loads(lines[0])
+
+        def _bad(index: int, what: str) -> None:
+            warnings.warn(
+                f"{path}:{index + 1}: skipping {what} ledger line "
+                "(truncated by a concurrent writer?)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError:
+            _bad(0, "corrupt header")
+            header = {}
+        if not isinstance(header, dict):
+            _bad(0, "non-object header")
+            header = {}
         header.pop("format", None)
         ledger = cls(header=header)
-        for line in lines[1:]:
-            data = json.loads(line)
-            for key in ("fitted_mean", "fitted_std",
-                        "range_lower", "range_upper"):
-                data[key] = tuple(float(v) for v in data.get(key, ()))
-            ledger.append(LedgerEntry(**data))
+        for index, line in enumerate(lines[1:], start=1):
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError:
+                _bad(index, "corrupt")
+                continue
+            try:
+                for key in ("fitted_mean", "fitted_std",
+                            "range_lower", "range_upper"):
+                    data[key] = tuple(float(v) for v in data.get(key, ()))
+                ledger.append(LedgerEntry(**data))
+            except (TypeError, ValueError, KeyError, AttributeError):
+                _bad(index, "malformed")
         return ledger
 
 

@@ -109,6 +109,10 @@ class ObservedRun:
     metrics: Optional[MetricsSnapshot] = None
     ledger_entries: List[LedgerEntry] = field(default_factory=list)
     ledger_totals: Dict[str, float] = field(default_factory=dict)
+    #: alert firings (dicts shaped like ``Alert.to_dict``).
+    alerts: List[Dict[str, Any]] = field(default_factory=list)
+    #: profiler (span, samples, estimated seconds) self-time rows.
+    profile: List[Tuple[str, int, float]] = field(default_factory=list)
 
     # -- constructors -------------------------------------------------
     @classmethod
@@ -117,6 +121,8 @@ class ObservedRun:
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsSnapshot] = None,
         ledger: Optional[PrivacyLedger] = None,
+        alert_engine: Optional[Any] = None,
+        profiler: Optional[Any] = None,
     ) -> "ObservedRun":
         header: Dict[str, Any] = {}
         durations: List[Tuple[str, float]] = []
@@ -130,13 +136,21 @@ class ObservedRun:
             header.update(ledger.header)
             entries = ledger.entries()
             totals = ledger.totals()
-        return cls(header, durations, metrics, entries, totals)
+        alerts: List[Dict[str, Any]] = []
+        if alert_engine is not None:
+            alerts = alert_engine.to_dicts()
+        profile: List[Tuple[str, int, float]] = []
+        if profiler is not None:
+            profile = profiler.span_table()
+        return cls(header, durations, metrics, entries, totals,
+                   alerts, profile)
 
     @classmethod
     def from_artifacts(
         cls,
         trace_path: Optional[str] = None,
         ledger_path: Optional[str] = None,
+        profile_path: Optional[str] = None,
     ) -> "ObservedRun":
         header: Dict[str, Any] = {}
         durations: List[Tuple[str, float]] = []
@@ -154,12 +168,25 @@ class ObservedRun:
             ]
         entries: List[LedgerEntry] = []
         totals: Dict[str, float] = {}
+        alerts: List[Dict[str, Any]] = []
         if ledger_path is not None:
             ledger = PrivacyLedger.read_jsonl(ledger_path)
             header.update(ledger.header)
             entries = ledger.entries()
             totals = ledger.totals()
-        return cls(header, durations, None, entries, totals)
+            # alert firings travel in the ledger header (AlertEngine
+            # pushes them there on every firing); don't render them as
+            # a header blob too.
+            raw = header.pop("alerts", None)
+            if isinstance(raw, list):
+                alerts = [a for a in raw if isinstance(a, dict)]
+        profile: List[Tuple[str, int, float]] = []
+        if profile_path is not None:
+            from repro.obs.profiler import span_table_from_collapsed
+            with open(profile_path, "r", encoding="utf-8") as handle:
+                profile = span_table_from_collapsed(handle.read())
+        return cls(header, durations, None, entries, totals,
+                   alerts, profile)
 
     # -- breakdowns ---------------------------------------------------
     def phase_stats(self) -> List[SpanStat]:
@@ -204,6 +231,11 @@ class ObservedRun:
                 "totals": dict(self.ledger_totals),
                 "entries": [e.to_dict() for e in self.ledger_entries],
             },
+            "alerts": [dict(a) for a in self.alerts],
+            "profile": [
+                {"span": span, "samples": samples, "seconds": seconds}
+                for span, samples, seconds in self.profile
+            ],
         }
 
     def render_json(self) -> str:
@@ -260,6 +292,26 @@ class ObservedRun:
                 "metric histograms:\n" + format_table(
                     ["histogram", "count", "min", "mean", "p50", "p90",
                      "p99", "max"], rows)
+            )
+        if self.profile:
+            rows = [
+                [span, samples,
+                 f"{seconds * 1000:.1f}" if seconds else "-"]
+                for span, samples, seconds in self.profile
+            ]
+            sections.append(
+                "profiler span self-time:\n" + format_table(
+                    ["span", "samples", "est ms"], rows)
+            )
+        if self.alerts:
+            rows = [
+                [a.get("severity", "?"), a.get("rule", "?"),
+                 a.get("message", "")]
+                for a in self.alerts
+            ]
+            sections.append(
+                "alerts fired:\n" + format_table(
+                    ["severity", "rule", "message"], rows)
             )
         if self.ledger_totals:
             rows = [[k, f"{v:g}"] for k, v in

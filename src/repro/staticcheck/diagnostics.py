@@ -127,6 +127,19 @@ CODE_REGISTRY: Dict[str, CodeInfo] = {
             "that should be built once in build_aux or __init__ and "
             "called in the loop.",
         ),
+        CodeInfo(
+            "UPA013", "server-in-monoid", Severity.WARNING,
+            "A monoid method (or batched kernel) starts live monitoring "
+            "machinery — an ObservabilityServer, a SamplingProfiler, or "
+            "a .serve() call. These own daemon threads and OS resources "
+            "(a listening socket, a sampling loop); monoid methods "
+            "replay ~2n times across sampled neighbouring datasets, so "
+            "each replay would spawn another server/profiler, leaking "
+            "threads and ports and letting the observer perturb the "
+            "observed run. Start them once, from the session or CLI "
+            "(UPASession.serve / repro run --serve), never from a "
+            "mapper or reducer.",
+        ),
         # -- plan-stability pass (UPA1xx) ------------------------------
         CodeInfo(
             "UPA101", "unsupported-plan-operator", Severity.ERROR,

@@ -81,6 +81,12 @@ _OBS_NAMES = {
     "Tracer", "PrivacyLedger", "make_entry",
 }
 
+#: live-monitoring machinery that owns threads/sockets (UPA013):
+#: constructing either class, or calling a .serve() method, inside a
+#: monoid method would spawn one server/profiler per neighbour replay.
+_SERVER_NAMES = {"ObservabilityServer", "SamplingProfiler"}
+_SERVER_METHODS = {"serve"}
+
 
 def _root_name(node: ast.AST) -> Optional[str]:
     """The base Name id of an Attribute/Subscript chain, if any."""
@@ -400,6 +406,51 @@ def _check_obs_calls(src: _MethodSource) -> Iterable[Diagnostic]:
         )
 
 
+def _server_call_reason(node: ast.Call) -> Optional[str]:
+    """Why ``node`` looks like it starts live-monitoring machinery."""
+    func = node.func
+    if isinstance(func, ast.Name) and func.id in _SERVER_NAMES:
+        return f"constructs {func.id}()"
+    if isinstance(func, ast.Attribute):
+        if func.attr in _SERVER_NAMES:
+            dotted = _root_name(func)
+            prefix = f"{dotted}." if dotted else ""
+            return f"constructs {prefix}{func.attr}()"
+        if func.attr in _SERVER_METHODS:
+            dotted = _root_name(func)
+            prefix = f"{dotted}." if dotted else ""
+            return f"calls {prefix}{func.attr}()"
+    return None
+
+
+def _check_server_calls(src: _MethodSource) -> Iterable[Diagnostic]:
+    """UPA013: monoid methods starting a server or profiler.
+
+    Same contract as UPA011, one level worse: where an obs *call*
+    records a span, a server/profiler owns a daemon thread and (for the
+    server) a listening socket — one per neighbour replay.
+    """
+    for node in ast.walk(src.node):
+        if not isinstance(node, ast.Call):
+            continue
+        reason = _server_call_reason(node)
+        if reason:
+            yield make_diagnostic(
+                "UPA013",
+                f"{src.where()} {reason}; monoid methods replay ~2n "
+                "times across sampled neighbouring datasets, so each "
+                "replay would spawn another server/profiler thread "
+                "(and, for the server, bind another socket)",
+                file=src.file,
+                line=src.line_of(node),
+                obj=src.owner_name,
+                hint="start live monitoring once, outside the query: "
+                "UPASession.serve(), EngineContext.serve(), or "
+                "`repro run --serve PORT`",
+                pass_name=PASS,
+            )
+
+
 _LOOP_NODES = (
     ast.For, ast.While, ast.ListComp, ast.SetComp, ast.DictComp,
     ast.GeneratorExp,
@@ -523,6 +574,7 @@ def _check_batch_kernels(
             )
             continue
         yield from _check_obs_calls(src)
+        yield from _check_server_calls(src)
         if _resolve_method(cls, partner) is None:
             yield make_diagnostic(
                 "UPA010",
@@ -588,6 +640,7 @@ def check_query(query: Any) -> List[Diagnostic]:
         diagnostics.extend(_check_nondeterminism(src))
         diagnostics.extend(_check_state_mutation(src))
         diagnostics.extend(_check_obs_calls(src))
+        diagnostics.extend(_check_server_calls(src))
         diagnostics.extend(_check_eval_loops(src))
         if method_name == "combine":
             diagnostics.extend(_check_combine(src))

@@ -270,7 +270,18 @@ class TestHistogramSummary:
 
     def test_to_dict_keys(self):
         d = HistogramSummary.from_values([1.0]).to_dict()
-        assert set(d) == {"count", "min", "max", "mean", "p50", "p90", "p99"}
+        assert set(d) == {"count", "min", "max", "mean", "p50", "p90",
+                          "p95", "p99", "stddev"}
+
+    def test_p95_and_stddev(self):
+        summary = HistogramSummary.from_values([2.0, 4.0, 4.0, 4.0, 5.0,
+                                                5.0, 7.0, 9.0])
+        assert summary.stddev == pytest.approx(2.0)
+        assert summary.p95 == pytest.approx(8.3)
+
+    def test_defaulted_fields_accept_old_positional_construction(self):
+        summary = HistogramSummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        assert summary.p95 == 0.0 and summary.stddev == 0.0
 
 
 class TestMetricsRegistry:
@@ -332,6 +343,20 @@ class TestMetricsSnapshotDiff:
         earlier = MetricsSnapshot(gauges={"g": 1.0})
         later = MetricsSnapshot(gauges={"g": 5.0})
         assert later.diff(earlier).get_gauge("g") == 5.0
+
+    def test_diff_drops_gauge_deleted_in_between(self):
+        earlier = MetricsSnapshot(gauges={"stale": 7.0})
+        later = MetricsSnapshot(gauges={"live": 1.0})
+        delta = later.diff(earlier)
+        assert "stale" not in delta.gauges
+        assert delta.get_gauge("live") == 1.0
+
+    def test_delete_gauge(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("g", 2.0)
+        registry.delete_gauge("g")
+        registry.delete_gauge("never-existed")  # no-op, no raise
+        assert "g" not in registry.snapshot().gauges
 
     def test_engine_level_diff(self):
         registry = MetricsRegistry()

@@ -1,0 +1,732 @@
+"""Tests for the live-monitoring stack: exporters, server, alerts, profiler.
+
+Complements ``tests/test_obs.py`` (post-hoc tracing/metrics/ledger):
+here we cover the Prometheus/OTLP exporters against a strict
+line-grammar checker, the introspection HTTP server round-tripped
+through ``http.client`` on an ephemeral port, alert rules on synthetic
+ledgers, the sampling profiler's span attribution, and ledger
+crash-safety.
+"""
+
+import http.client
+import json
+import re
+import textwrap
+import threading
+import time
+
+import pytest
+
+from repro.common.config import EngineConfig
+from repro.dp.budget import PrivacyAccountant
+from repro.engine.context import EngineContext
+from repro.engine.metrics import MetricsRegistry, MetricsSnapshot
+from repro.obs.alerts import (
+    AlertEngine,
+    BudgetBurnRule,
+    ClampRateRule,
+    GaugeThresholdRule,
+    SensitivityDriftRule,
+    default_rules,
+)
+from repro.obs.exporters import (
+    render_otlp_metrics,
+    render_otlp_spans,
+    render_prometheus,
+    sanitize_metric_name,
+)
+from repro.obs.ledger import PrivacyLedger, make_entry
+from repro.obs.profiler import (
+    SamplingProfiler,
+    parse_collapsed,
+    span_table_from_collapsed,
+)
+from repro.obs.server import ObservabilityServer
+from repro.obs.tracing import Tracer
+
+
+# ---------------------------------------------------------------------------
+# Prometheus line-grammar checker
+# ---------------------------------------------------------------------------
+
+_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_LABEL = r'[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\.)*"'
+_LABELS = r"\{" + _LABEL + r"(?:," + _LABEL + r")*\}"
+_VALUE = r"(?:[+-]Inf|NaN|-?[0-9]+(?:\.[0-9]+)?(?:[eE][+-]?[0-9]+)?)"
+_SAMPLE_RE = re.compile(rf"^({_NAME})(?:{_LABELS})? {_VALUE}$")
+_HELP_RE = re.compile(rf"^# HELP ({_NAME}) \S.*$")
+_TYPE_RE = re.compile(
+    rf"^# TYPE ({_NAME}) (counter|gauge|summary|histogram|untyped)$"
+)
+
+
+def assert_valid_exposition(text: str) -> dict:
+    """Strict structural check of a text-exposition v0.0.4 document.
+
+    Returns ``{metric name: type}`` for the declared families.  Checks:
+    trailing newline, every line parses as HELP/TYPE/sample, HELP
+    directly precedes TYPE, each family is declared exactly once,
+    every sample belongs to a declared family (modulo the summary
+    ``_sum``/``_count`` suffixes), and counters end in ``_total``.
+    """
+    assert text.endswith("\n"), "exposition must end with a newline"
+    typed = {}
+    pending_help = None
+    for line in text.splitlines():
+        if line.startswith("# HELP "):
+            m = _HELP_RE.match(line)
+            assert m, f"malformed HELP line: {line!r}"
+            pending_help = m.group(1)
+            continue
+        if line.startswith("# TYPE "):
+            m = _TYPE_RE.match(line)
+            assert m, f"malformed TYPE line: {line!r}"
+            name, mtype = m.group(1), m.group(2)
+            assert name not in typed, f"duplicate TYPE for {name}"
+            assert pending_help == name, f"TYPE {name} not preceded by HELP"
+            typed[name] = mtype
+            pending_help = None
+            continue
+        assert not line.startswith("#"), f"unknown comment line: {line!r}"
+        m = _SAMPLE_RE.match(line)
+        assert m, f"malformed sample line: {line!r}"
+        sample = m.group(1)
+        family = None
+        for cand in (sample, sample[: -len("_sum")] if
+                     sample.endswith("_sum") else sample,
+                     sample[: -len("_count")] if
+                     sample.endswith("_count") else sample):
+            if cand in typed:
+                family = cand
+                break
+        assert family is not None, f"sample {sample} has no TYPE declaration"
+        if typed[family] == "counter":
+            assert family.endswith("_total"), \
+                f"counter {family} missing _total suffix"
+    return typed
+
+
+def _http_get(port, path):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        conn.request("GET", path)
+        resp = conn.getresponse()
+        return resp.status, resp.getheader("Content-Type"), resp.read()
+    finally:
+        conn.close()
+
+
+def _entry(seq, query="q", eps=0.1, sens=1.0, clamped=False,
+           cache_hit=False, remaining=None):
+    return make_entry(
+        sequence=seq, query=query, epsilon_charged=eps, delta=0.0,
+        mechanism="laplace", sample_size=10, mean=[0.0], std=[1.0],
+        lower=[0.0], upper=[1.0], local_sensitivity=sens,
+        estimated_local_sensitivity=sens, clamped=clamped,
+        matched_prior=False, records_removed=0,
+        accountant_remaining_epsilon=remaining, cache_hit=cache_hit,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Exporters
+# ---------------------------------------------------------------------------
+
+
+class TestSanitize:
+    def test_dots_become_underscores_with_namespace(self):
+        assert sanitize_metric_name("sql.plan_cache.hits", "upa") == \
+            "upa_sql_plan_cache_hits"
+
+    def test_leading_digit_prefixed(self):
+        name = sanitize_metric_name("5xx.count")
+        assert re.match(r"^[a-zA-Z_:]", name)
+
+    def test_empty_name_still_valid(self):
+        assert re.match(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$",
+                        sanitize_metric_name(""))
+
+
+class TestPrometheusExposition:
+    def test_golden_document(self):
+        snap = MetricsSnapshot(
+            counters={"jobs_run": 3.0},
+            histograms={"task_seconds": (0.5, 1.5)},
+            gauges={"pool.size": 4.0},
+        )
+        expected = textwrap.dedent("""\
+            # HELP upa_jobs_run_total Engine counter jobs_run.
+            # TYPE upa_jobs_run_total counter
+            upa_jobs_run_total 3
+            # HELP upa_pool_size Engine gauge pool.size.
+            # TYPE upa_pool_size gauge
+            upa_pool_size 4
+            # HELP upa_task_seconds Engine histogram task_seconds.
+            # TYPE upa_task_seconds summary
+            upa_task_seconds{quantile="0.5"} 1
+            upa_task_seconds{quantile="0.9"} 1.4
+            upa_task_seconds{quantile="0.95"} 1.45
+            upa_task_seconds{quantile="0.99"} 1.49
+            upa_task_seconds_sum 2
+            upa_task_seconds_count 2
+            # HELP upa_task_seconds_stddev Population standard deviation of histogram task_seconds.
+            # TYPE upa_task_seconds_stddev gauge
+            upa_task_seconds_stddev 0.5
+        """)
+        assert render_prometheus(snap) == expected
+
+    def test_grammar_checker_accepts_rendered_output(self):
+        snap = MetricsSnapshot(
+            counters={"jobs_run": 3.0, "sql.plan_cache.hits": 1.0},
+            histograms={"task_seconds": (0.5, 1.5, 2.5)},
+            gauges={"pool.size": 4.0},
+        )
+        typed = assert_valid_exposition(render_prometheus(snap))
+        assert typed["upa_jobs_run_total"] == "counter"
+        assert typed["upa_task_seconds"] == "summary"
+        assert typed["upa_pool_size"] == "gauge"
+
+    def test_grammar_checker_rejects_malformed(self):
+        with pytest.raises(AssertionError):
+            assert_valid_exposition("no newline terminator")
+        with pytest.raises(AssertionError):
+            assert_valid_exposition("bad-name 1\n")
+        with pytest.raises(AssertionError):
+            assert_valid_exposition("orphan_sample 1\n")
+
+    def test_live_registry_snapshot_renders_clean(self):
+        registry = MetricsRegistry()
+        registry.incr("jobs_run", 2)
+        registry.observe("task_seconds", 0.25)
+        registry.set_gauge("scheduler.pool_size", 8)
+        assert_valid_exposition(render_prometheus(registry.snapshot()))
+
+
+class TestOtlpExport:
+    def test_metrics_envelope_structure(self):
+        snap = MetricsSnapshot(counters={"jobs_run": 3.0},
+                               histograms={"task_seconds": (1.0,)},
+                               gauges={"g": 2.0})
+        doc = json.loads(json.dumps(render_otlp_metrics(snap)))
+        scope = doc["resourceMetrics"][0]["scopeMetrics"][0]
+        by_name = {m["name"]: m for m in scope["metrics"]}
+        assert by_name["jobs_run"]["sum"]["isMonotonic"] is True
+        point = by_name["task_seconds"]["summary"]["dataPoints"][0]
+        assert point["count"] == 1
+        assert {q["quantile"] for q in point["quantileValues"]} == \
+            {0.5, 0.9, 0.95, 0.99}
+        assert by_name["g"]["gauge"]["dataPoints"][0]["asDouble"] == 2.0
+
+    def test_spans_envelope_structure(self):
+        tracer = Tracer()
+        with tracer.span("upa.run"):
+            with tracer.span("phase:map"):
+                pass
+        doc = json.loads(json.dumps(render_otlp_spans(tracer)))
+        spans = doc["resourceSpans"][0]["scopeSpans"][0]["spans"]
+        by_name = {s["name"]: s for s in spans}
+        assert set(by_name) == {"upa.run", "phase:map"}
+        child = by_name["phase:map"]
+        assert child["parentSpanId"] == by_name["upa.run"]["spanId"]
+        assert re.match(r"^[0-9a-f]{16}$", child["spanId"])
+
+
+# ---------------------------------------------------------------------------
+# Alert rules on synthetic ledgers
+# ---------------------------------------------------------------------------
+
+
+class TestAlertRules:
+    def test_sensitivity_drift_fires_and_degrades(self):
+        ledger = PrivacyLedger()
+        engine = AlertEngine(rules=[SensitivityDriftRule()])
+        engine.attach(ledger)
+        for i in range(6):
+            ledger.append(_entry(i, sens=1.0))
+        assert engine.alerts() == []
+        ledger.append(_entry(6, sens=5.0))
+        fired = engine.alerts()
+        assert len(fired) == 1
+        assert fired[0].rule == "sensitivity-drift"
+        assert "sensitivity drift" in fired[0].message
+        assert engine.degraded is True
+        assert engine.firing_rules() == ["sensitivity-drift"]
+        header_alerts = ledger.header.get("alerts")
+        assert header_alerts and \
+            header_alerts[0]["rule"] == "sensitivity-drift"
+
+    def test_drift_silent_below_min_history(self):
+        ledger = PrivacyLedger()
+        engine = AlertEngine(rules=[SensitivityDriftRule()])
+        engine.attach(ledger)
+        for i in range(4):
+            ledger.append(_entry(i, sens=1.0))
+        ledger.append(_entry(4, sens=100.0))
+        assert engine.alerts() == []
+
+    def test_drift_nonzero_stddev_uses_z_score(self):
+        rule = SensitivityDriftRule(min_history=4)
+        history = [_entry(i, sens=s) for i, s in
+                   enumerate([1.0, 1.2, 0.8, 1.0])]
+        probe = _entry(4, sens=1.1)
+        history_plus = history + [probe]
+        assert rule.on_entry(probe, history_plus, None) is None
+        spike = _entry(5, sens=10.0)
+        alert = rule.on_entry(spike, history + [spike], None)
+        assert alert is not None
+        assert alert.context["z_score"] > 3.0
+
+    def test_budget_burn_from_recorded_balance(self):
+        rule = BudgetBurnRule()
+        history = [_entry(i, eps=0.1, remaining=1.0) for i in range(3)]
+        tail = _entry(3, eps=0.1, remaining=0.05)
+        alert = rule.on_entry(tail, history + [tail], None)
+        assert alert is not None and alert.severity == "critical"
+        assert alert.context["forecast_releases_remaining"] < 1.0
+
+    def test_budget_burn_live_accountant_warning(self):
+        accountant = PrivacyAccountant(total_epsilon=1.0)
+        accountant.charge(0.6, label="q")
+        rule = BudgetBurnRule()
+        history = [_entry(i, eps=0.2) for i in range(3)]
+        alert = rule.on_entry(history[-1], history, accountant)
+        assert alert is not None and alert.severity == "warning"
+        assert alert.context["remaining_epsilon"] == pytest.approx(0.4)
+
+    def test_budget_burn_silent_without_balance(self):
+        rule = BudgetBurnRule()
+        history = [_entry(i, eps=0.2) for i in range(3)]
+        assert rule.on_entry(history[-1], history, None) is None
+
+    def test_clamp_rate_fires_above_threshold(self):
+        ledger = PrivacyLedger()
+        engine = AlertEngine(rules=[ClampRateRule()])
+        engine.attach(ledger)
+        for i in range(4):
+            ledger.append(_entry(i, clamped=True))
+        assert engine.alerts() == []  # below min_entries
+        ledger.append(_entry(4, clamped=False))
+        fired = engine.alerts()
+        assert fired and fired[0].rule == "clamp-rate"
+        assert fired[0].context["clamp_rate"] == pytest.approx(0.8)
+
+    def test_cache_hits_do_not_count(self):
+        rule = ClampRateRule()
+        history = [_entry(i, clamped=True, cache_hit=True)
+                   for i in range(10)]
+        assert rule.on_entry(history[-1], history, None) is None
+
+    def test_gauge_threshold_dedupes_on_metrics_tick(self):
+        engine = AlertEngine(rules=[
+            GaugeThresholdRule(metric="queue_depth", max_value=10.0)
+        ])
+        snap = MetricsSnapshot(gauges={"queue_depth": 50.0})
+        first = engine.observe_metrics(snap)
+        assert len(first) == 1
+        again = engine.observe_metrics(snap)
+        assert again == []  # identical firing deduplicated
+        assert len(engine.alerts()) == 1
+
+    def test_replay_synthetic_ledger(self):
+        ledger = PrivacyLedger()
+        for i in range(6):
+            ledger.append(_entry(i, sens=1.0))
+        ledger.append(_entry(6, sens=9.0))
+        engine = AlertEngine(rules=default_rules())
+        fired = engine.replay(ledger)
+        assert any(a.rule == "sensitivity-drift" for a in fired)
+        assert engine.degraded
+
+    def test_summary_lists_firings(self):
+        engine = AlertEngine(rules=[SensitivityDriftRule()])
+        ledger = PrivacyLedger()
+        engine.attach(ledger)
+        for i in range(6):
+            ledger.append(_entry(i, sens=1.0))
+        ledger.append(_entry(6, sens=5.0))
+        summary = engine.summary()
+        assert "sensitivity-drift" in summary
+
+    def test_listener_exception_warns_not_raises(self):
+        ledger = PrivacyLedger()
+
+        def bad_listener(entry):
+            raise ValueError("boom")
+
+        ledger.add_listener(bad_listener)
+        with pytest.warns(RuntimeWarning):
+            ledger.append(_entry(0))
+        assert len(ledger) == 1
+
+
+# ---------------------------------------------------------------------------
+# Ledger crash-safety + append_jsonl
+# ---------------------------------------------------------------------------
+
+
+class TestLedgerCrashSafety:
+    def _write_ledger(self, path, n=3):
+        ledger = PrivacyLedger()
+        for i in range(n):
+            ledger.append(_entry(i))
+        ledger.write_jsonl(str(path))
+        return ledger
+
+    def test_truncated_final_line_skipped_with_warning(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        self._write_ledger(path)
+        raw = path.read_text()
+        path.write_text(raw[: len(raw) - 40])  # chop mid-JSON
+        with pytest.warns(RuntimeWarning):
+            recovered = PrivacyLedger.read_jsonl(str(path))
+        assert len(recovered) == 2
+        assert [e.sequence for e in recovered.entries()] == [0, 1]
+
+    def test_blank_lines_skipped_silently(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        self._write_ledger(path)
+        lines = path.read_text().splitlines()
+        lines.insert(2, "")
+        lines.append("   ")
+        path.write_text("\n".join(lines) + "\n")
+        recovered = PrivacyLedger.read_jsonl(str(path))
+        assert len(recovered) == 3
+
+    def test_corrupt_middle_line_skipped_with_warning(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        self._write_ledger(path)
+        lines = path.read_text().splitlines()
+        lines[2] = '{"sequence": 1, "query": '  # corrupt entry 1
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.warns(RuntimeWarning):
+            recovered = PrivacyLedger.read_jsonl(str(path))
+        assert [e.sequence for e in recovered.entries()] == [0, 2]
+
+    def test_append_jsonl_incremental_round_trip(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        ledger = PrivacyLedger()
+        for i in range(3):
+            entry = _entry(i)
+            ledger.append(entry)
+            ledger.append_jsonl(str(path), entry)
+        recovered = PrivacyLedger.read_jsonl(str(path))
+        assert len(recovered) == 3
+        assert recovered.header.get("format") or True  # header present
+        # header must be written exactly once
+        headers = [ln for ln in path.read_text().splitlines()
+                   if '"entries"' not in ln and '"sequence"' not in ln]
+        assert len(headers) == 1
+
+
+# ---------------------------------------------------------------------------
+# Sampling profiler
+# ---------------------------------------------------------------------------
+
+
+class TestSamplingProfiler:
+    def test_attributes_samples_to_phase_span(self):
+        tracer = Tracer()
+        prof = SamplingProfiler(hz=400.0)
+        prof.start()
+        try:
+            with tracer.span("upa.run"):
+                with tracer.span("phase:reduce"):
+                    deadline = time.monotonic() + 0.4
+                    acc = 0
+                    while time.monotonic() < deadline:
+                        acc += sum(range(200))
+        finally:
+            prof.stop()
+        assert prof.sample_count >= 1
+        table = {name: count for name, count, _ in prof.span_table()}
+        assert any(name.startswith("phase:") for name in table)
+        assert table.get("phase:reduce", 0) >= 1
+        collapsed = prof.collapsed_stacks()
+        assert any(line.startswith("upa.run;phase:reduce;")
+                   for line in collapsed.splitlines())
+
+    def test_collapsed_round_trip(self):
+        text = "upa.run;phase:map;f (m.py:3) 7\nidle (t.py:1) 2\n"
+        stacks = parse_collapsed(text)
+        assert (("upa.run", "phase:map", "f (m.py:3)"), 7) in stacks
+        # samples attribute to the innermost span of the chain
+        table = {name: count for name, count, _ in
+                 span_table_from_collapsed(text)}
+        assert table == {"phase:map": 7}
+        with_rate = span_table_from_collapsed(text, interval=0.01)
+        assert with_rate[0][2] == pytest.approx(0.07)
+
+    def test_parse_collapsed_tolerates_garbage(self):
+        stacks = parse_collapsed("\nnot a count line\nf (a.py:1) 3\n")
+        assert stacks == [(("f (a.py:1)",), 3)]
+
+    def test_write_and_reset(self, tmp_path):
+        prof = SamplingProfiler(hz=500.0, include_idle=True)
+        with prof:
+            time.sleep(0.2)
+        assert prof.sample_count >= 1
+        out = tmp_path / "prof.txt"
+        prof.write_collapsed(str(out))
+        assert out.read_text().strip()
+        prof.reset()
+        assert prof.sample_count == 0
+        assert prof.collapsed_stacks() == ""
+
+    def test_context_manager_and_idempotent_start(self):
+        prof = SamplingProfiler(hz=200.0)
+        assert prof.start() is prof
+        assert prof.start() is prof  # no second thread
+        assert prof.running
+        prof.stop()
+        assert not prof.running
+
+
+# ---------------------------------------------------------------------------
+# Introspection server round-trip over HTTP
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def full_server():
+    registry = MetricsRegistry()
+    registry.incr("jobs_run", 2)
+    registry.observe("task_seconds", 0.5)
+    tracer = Tracer()
+    with tracer.span("upa.run"):
+        with tracer.span("phase:map"):
+            pass
+    ledger = PrivacyLedger()
+    engine = AlertEngine(rules=default_rules())
+    engine.attach(ledger)
+    for i in range(6):
+        ledger.append(_entry(i, sens=1.0))
+    accountant = PrivacyAccountant(total_epsilon=10.0)
+    accountant.charge(1.0, label="q")
+    profiler = SamplingProfiler(hz=200.0, include_idle=True)
+    with profiler:
+        time.sleep(0.05)
+    server = ObservabilityServer(
+        metrics=registry, tracer=tracer, ledger=ledger,
+        accountants=accountant, alerts=engine, profiler=profiler,
+    ).start()
+    yield server, registry, ledger, engine
+    server.stop()
+
+
+class TestObservabilityServer:
+    def test_ephemeral_port_and_url(self, full_server):
+        server, _, _, _ = full_server
+        assert server.running
+        assert server.port > 0
+        assert server.url == f"http://127.0.0.1:{server.port}"
+
+    def test_metrics_endpoint_valid_exposition(self, full_server):
+        server, _, _, _ = full_server
+        status, ctype, body = _http_get(server.port, "/metrics")
+        assert status == 200
+        assert ctype.startswith("text/plain")
+        assert "version=0.0.4" in ctype
+        typed = assert_valid_exposition(body.decode("utf-8"))
+        assert typed["upa_jobs_run_total"] == "counter"
+        assert "upa_budget_remaining_epsilon" in typed
+        assert "upa_server_requests_total" in typed
+        assert "upa_health_degraded" in typed
+
+    def test_metrics_otlp_format(self, full_server):
+        server, _, _, _ = full_server
+        status, ctype, body = _http_get(server.port, "/metrics?format=otlp")
+        assert status == 200
+        assert ctype.startswith("application/json")
+        assert "resourceMetrics" in json.loads(body)
+
+    def test_healthz_ok_then_degraded(self, full_server):
+        server, _, ledger, engine = full_server
+        status, _, body = _http_get(server.port, "/healthz")
+        assert status == 200
+        assert json.loads(body)["status"] == "ok"
+        ledger.append(_entry(6, sens=50.0))  # trigger drift
+        assert engine.degraded
+        status, _, body = _http_get(server.port, "/healthz")
+        assert status == 503
+        payload = json.loads(body)
+        assert payload["status"] == "degraded"
+        assert "sensitivity-drift" in payload["firing_rules"]
+
+    def test_ledger_tail_and_since(self, full_server):
+        server, _, _, _ = full_server
+        status, ctype, body = _http_get(server.port, "/ledger?n=2")
+        assert status == 200
+        assert ctype.startswith("application/x-ndjson")
+        lines = [json.loads(ln) for ln in body.decode().splitlines()]
+        assert lines[0]["format"] == PrivacyLedger.FORMAT  # header first
+        assert [ln["sequence"] for ln in lines[1:]] == [4, 5]
+        status, _, body = _http_get(server.port, "/ledger?since=3")
+        lines = [json.loads(ln) for ln in body.decode().splitlines()]
+        assert [ln["sequence"] for ln in lines[1:]] == [4, 5]
+
+    def test_traces_chrome_and_otlp(self, full_server):
+        server, _, _, _ = full_server
+        status, _, body = _http_get(server.port, "/traces")
+        assert status == 200
+        events = json.loads(body)["traceEvents"]
+        assert any(e.get("name") == "phase:map" for e in events)
+        status, _, body = _http_get(server.port, "/traces?format=otlp")
+        assert status == 200
+        assert "resourceSpans" in json.loads(body)
+
+    def test_budget_endpoint(self, full_server):
+        server, _, _, _ = full_server
+        status, _, body = _http_get(server.port, "/budget")
+        assert status == 200
+        accountants = json.loads(body)["accountants"]
+        assert accountants["default"]["total_epsilon"] == 10.0
+        assert accountants["default"]["spent_epsilon"] == pytest.approx(1.0)
+
+    def test_profile_endpoint(self, full_server):
+        server, _, _, _ = full_server
+        status, ctype, body = _http_get(server.port, "/profile")
+        assert status == 200
+        assert ctype.startswith("text/plain")
+        assert body.decode().strip()
+
+    def test_index_and_404(self, full_server):
+        server, _, _, _ = full_server
+        status, _, body = _http_get(server.port, "/")
+        assert status == 200
+        status, _, _ = _http_get(server.port, "/nope")
+        assert status == 404
+
+    def test_unwired_sources_404(self):
+        server = ObservabilityServer(metrics=MetricsRegistry()).start()
+        try:
+            for path in ("/ledger", "/traces", "/budget", "/profile"):
+                status, _, _ = _http_get(server.port, path)
+                assert status == 404, path
+        finally:
+            server.stop()
+
+    def test_handler_error_returns_500(self):
+        class Broken:
+            def snapshot(self):
+                raise RuntimeError("boom")
+
+        server = ObservabilityServer(metrics=Broken()).start()
+        try:
+            status, _, _ = _http_get(server.port, "/metrics")
+            assert status == 500
+        finally:
+            server.stop()
+
+    def test_stop_is_idempotent_and_context_manager(self):
+        with ObservabilityServer(metrics=MetricsRegistry()) as server:
+            assert server.running
+            port = server.port
+        assert not server.running
+        server.stop()  # second stop is a no-op
+        with pytest.raises(OSError):
+            _http_get(port, "/metrics")
+
+
+# ---------------------------------------------------------------------------
+# Thread-safety: scheduler pool hammers the registry during scrapes
+# ---------------------------------------------------------------------------
+
+
+class TestScrapeThreadSafety:
+    def test_metrics_scrape_during_pool_jobs(self):
+        ctx = EngineContext(EngineConfig(use_threads=True, max_workers=4))
+        server = ctx.serve(port=0)
+        errors = []
+        bodies = []
+        stop = threading.Event()
+
+        def scrape():
+            while not stop.is_set():
+                try:
+                    status, _, body = _http_get(server.port, "/metrics")
+                    if status != 200:
+                        errors.append(f"status {status}")
+                    else:
+                        bodies.append(body.decode("utf-8"))
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(repr(exc))
+
+        scrapers = [threading.Thread(target=scrape) for _ in range(3)]
+        for t in scrapers:
+            t.start()
+        try:
+            for _ in range(8):
+                out = ctx.parallelize(range(200), 8).map(
+                    lambda v: v * 2
+                ).collect()
+                assert len(out) == 200
+        finally:
+            stop.set()
+            for t in scrapers:
+                t.join(timeout=10)
+        ctx.stop()
+        assert not errors
+        assert bodies
+        # every concurrent scrape must still be grammatical
+        for body in bodies[-3:]:
+            assert_valid_exposition(body)
+        assert "upa_jobs_run_total" in bodies[-1]
+
+
+# ---------------------------------------------------------------------------
+# Embedding: EngineContext.serve / UPASession.serve
+# ---------------------------------------------------------------------------
+
+
+class TestEmbedding:
+    def test_engine_context_serve_idempotent_and_stops(self):
+        ctx = EngineContext()
+        server = ctx.serve(port=0)
+        assert ctx.serve(port=0) is server
+        status, _, _ = _http_get(server.port, "/metrics")
+        assert status == 200
+        ctx.stop()
+        assert not server.running
+        assert ctx.obs_server is None
+
+    def test_session_serve_wires_everything(self):
+        from repro.core.session import UPAConfig, UPASession
+        from repro.workloads import workload_by_name
+
+        workload = workload_by_name("tpch1")
+        tables = workload.make_tables(200, 0)
+        session = UPASession(
+            UPAConfig(epsilon=1.0, sample_size=30, seed=3),
+            accountant=PrivacyAccountant(total_epsilon=100.0),
+            tracer=Tracer(),
+            ledger=PrivacyLedger(),
+        )
+        server = session.serve(port=0)
+        assert session.serve(port=0) is server  # idempotent
+        assert session.alert_engine is not None
+        try:
+            session.run(workload.query, tables)
+            status, _, body = _http_get(server.port, "/metrics")
+            assert status == 200
+            assert_valid_exposition(body.decode("utf-8"))
+            status, _, body = _http_get(server.port, "/ledger?n=5")
+            assert status == 200
+            lines = body.decode().splitlines()
+            assert len(lines) >= 2  # header + the run's entry
+            assert json.loads(lines[-1])["query"] == "tpch1"
+            status, _, body = _http_get(server.port, "/budget")
+            assert status == 200
+            assert "session" in json.loads(body)["accountants"]
+            status, _, _ = _http_get(server.port, "/healthz")
+            assert status == 200
+        finally:
+            session.engine.stop()
+        assert not server.running
+
+    def test_attach_alerts_idempotent(self):
+        from repro.core.session import UPAConfig, UPASession
+
+        session = UPASession(UPAConfig(sample_size=10, seed=0),
+                             ledger=PrivacyLedger())
+        engine = session.attach_alerts()
+        assert session.attach_alerts() is engine

@@ -216,6 +216,41 @@ class CompiledAuxQuery(_FixtureBase):
         return sum(1 for row in tables["t"] if matches(row))
 
 
+class ServerInMapperQuery(_FixtureBase):
+    """UPA013: mapper constructs an ObservabilityServer."""
+
+    name = "bad-server-mapper"
+
+    def map_record(self, record: Row, aux: Any) -> float:
+        from repro.obs.server import ObservabilityServer
+
+        ObservabilityServer(port=0).start()
+        return 1.0
+
+
+class ProfilerInCombineQuery(_FixtureBase):
+    """UPA013: combine starts a SamplingProfiler."""
+
+    name = "bad-profiler-combine"
+
+    def combine(self, a: float, b: float) -> float:
+        from repro.obs import profiler
+
+        profiler.SamplingProfiler(hz=10).start()
+        return a + b
+
+
+class ServeInBatchKernelQuery(_FixtureBase):
+    """UPA013: batched kernel calls a .serve() method."""
+
+    name = "bad-serve-batch"
+
+    def fold_batch(self, elements):
+        aux = getattr(self, "session", None)
+        aux.serve()
+        return float(np.sum(np.asarray(elements, dtype=float)))
+
+
 def _codes(diagnostics):
     return {d.code for d in diagnostics}
 
@@ -316,6 +351,46 @@ class TestPurityPass:
             assert not [
                 d for d in check_query(query_by_name(name))
                 if d.code == "UPA012"
+            ]
+
+    def test_server_in_mapper_flagged(self):
+        diags = [
+            d for d in check_query(ServerInMapperQuery())
+            if d.code == "UPA013"
+        ]
+        assert diags
+        assert all(d.severity == Severity.WARNING for d in diags)
+        assert "ObservabilityServer" in diags[0].message
+
+    def test_profiler_in_combine_flagged(self):
+        diags = [
+            d for d in check_query(ProfilerInCombineQuery())
+            if d.code == "UPA013"
+        ]
+        assert diags
+        assert "SamplingProfiler" in diags[0].message
+
+    def test_serve_call_in_batch_kernel_flagged(self):
+        diags = [
+            d for d in check_query(ServeInBatchKernelQuery())
+            if d.code == "UPA013"
+        ]
+        assert diags
+        assert ".serve()" in diags[0].message
+
+    def test_clean_fixture_has_no_upa013(self):
+        assert not [
+            d for d in check_query(CleanBatchQuery())
+            if d.code == "UPA013"
+        ]
+
+    def test_shipped_workloads_have_no_upa013(self):
+        from repro.workloads import all_workloads
+
+        for workload in all_workloads():
+            assert not [
+                d for d in check_query(workload.query)
+                if d.code == "UPA013"
             ]
 
     def test_source_unavailable_is_info_not_crash(self):
@@ -548,7 +623,7 @@ class TestRenderersAndRegistry:
     def test_every_diagnostic_code_is_registered(self):
         assert set(CODE_REGISTRY) == {
             "UPA001", "UPA002", "UPA003", "UPA004", "UPA005", "UPA006",
-            "UPA010", "UPA011", "UPA012",
+            "UPA010", "UPA011", "UPA012", "UPA013",
             "UPA101", "UPA102", "UPA103", "UPA104",
             "UPA201", "UPA202", "UPA203",
         }
