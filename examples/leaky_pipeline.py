@@ -1,0 +1,82 @@
+"""A deliberately leaky analyst script — upalint's taint-pass fixture.
+
+DO NOT RUN and DO NOT COPY.  Every block below violates the release
+discipline the UPA pipeline depends on; ``repro lint
+examples/leaky_pipeline.py`` must flag each one (UPA301–UPA304).  CI
+lints this file expecting failure and excludes it from the clean-tree
+gate; ``tests/test_taint.py`` asserts the exact findings.
+
+The one *correct* release in the file is the ``declassify()`` call —
+an explicit, reviewed assertion that a value is safe — and the
+``session.run()`` results, which are differentially private.
+"""
+
+import logging
+
+from repro import UPAConfig, UPASession, declassify
+from repro.dp import PrivacyAccountant
+from repro.tpch import TPCHConfig, TPCHGenerator, query_by_name
+
+log = logging.getLogger("leaky")
+
+
+def dump_rows(rows):
+    """Helper that leaks whatever it is given — the taint pass follows
+    the call from main() and flags the print with rows protected."""
+    for row in rows:
+        print(row)  # BAD: UPA301 via interprocedural flow
+
+
+def release_with(session, query, tables):
+    """Releases through a caller-supplied session; when the caller
+    passes one built without an accountant this is UPA304."""
+    return session.run(query, tables, epsilon=0.1)  # BAD: UPA304
+
+
+def main():
+    tables = TPCHGenerator(
+        TPCHConfig(scale_rows=1_000, seed=7)
+    ).generate()
+    query = query_by_name("tpch1")
+
+    # -- raw-record leaks (UPA301) ------------------------------------
+    print(tables["lineitem"][0])  # BAD: UPA301 direct print
+
+    victim = tables["lineitem"][-1]
+    print(f"the victim's row is {victim}")  # BAD: UPA301 f-string
+
+    log.info("first order: %s", tables["orders"][0])  # BAD: UPA301 log
+
+    with open("dump.txt", "w") as fh:
+        fh.write(str(tables["orders"][0]))  # BAD: UPA301 file write
+
+    dump_rows(tables["lineitem"])  # leaks inside the helper
+
+    # -- the sanctioned paths, for contrast ---------------------------
+    session = UPASession(
+        UPAConfig(sample_size=200, seed=0),
+        accountant=PrivacyAccountant(total_epsilon=2.0),
+    )
+    result = session.run(query, tables, epsilon=0.2)
+    print(result.noisy_scalar())  # OK: differentially private
+    print(declassify(len(tables["lineitem"]),
+                     reason="row count is public metadata"))  # OK
+
+    # -- data-dependent release (UPA302) ------------------------------
+    if victim["quantity"] > 10:
+        session.run(query, tables, epsilon=0.2)  # BAD: UPA302
+
+    # -- tainted privacy parameter (UPA303) ---------------------------
+    eps = float(tables["lineitem"][0]["quantity"])
+    session.run(query, tables, epsilon=eps)  # BAD: UPA303
+
+    # -- uncharged session through a call (UPA304) --------------------
+    bare = UPASession(UPAConfig(sample_size=200, seed=0))
+    release_with(bare, query, tables)
+
+    # -- entry-point return leak (UPA301) -----------------------------
+    return tables["customer"]  # BAD: UPA301 raw records returned
+
+
+if __name__ == "__main__":
+    main()

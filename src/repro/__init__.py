@@ -16,6 +16,7 @@ Public surface:
 """
 
 from repro._version import __version__
+from repro.common.release import declassify
 from repro.core import MapReduceQuery, UPAConfig, UPAResult, UPASession
 from repro.core.dpobject import DPObject, DPObjectKV, dpread
 from repro.engine import EngineContext
@@ -30,6 +31,7 @@ __all__ = [
     "UPAConfig",
     "UPAResult",
     "UPASession",
+    "declassify",
     "dpread",
     "__version__",
 ]

@@ -177,7 +177,24 @@ def _build_parser() -> argparse.ArgumentParser:
         help="skip the built-in workload registry",
     )
     lint.add_argument(
-        "--json", action="store_true", help="machine-readable output"
+        "--json", action="store_true",
+        help="machine-readable output (alias for --format json)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json", "sarif"), default=None,
+        help="output format (default: text; sarif for code-scanning "
+        "upload)",
+    )
+    lint.add_argument(
+        "--baseline", metavar="FILE", default=None,
+        help="ratchet mode: filter findings recorded in FILE and fail "
+        "only on new ones; a missing FILE is created from the current "
+        "findings",
+    )
+    lint.add_argument(
+        "--exclude", action="append", default=[], metavar="PATH",
+        help="skip this file/directory in the script passes "
+        "(repeatable; e.g. deliberately-leaky lint fixtures)",
     )
     lint.add_argument(
         "--quiet", action="store_true",
@@ -538,8 +555,17 @@ def _cmd_lint(args) -> int:
         workload_names=args.workloads,
         paths=args.paths,
         min_severity=Severity.WARNING if args.quiet else Severity.INFO,
+        exclude=args.exclude,
+        baseline=args.baseline,
     )
-    print(report.render(as_json=args.json))
+    fmt = args.format or ("json" if args.json else "text")
+    if report.baseline_written and fmt == "text":
+        print(
+            f"repro lint: recorded current findings in {args.baseline}; "
+            "future runs fail only on new findings",
+            file=sys.stderr,
+        )
+    print(report.render(format=fmt))
     return report.exit_code
 
 

@@ -1,0 +1,38 @@
+"""Explicit declassification for values derived from protected data.
+
+The taint pass (:mod:`repro.staticcheck.taint`) tracks values derived
+from protected tables and flags any that reach a release sink without
+passing through ``session.run()``/``run_sql()`` — the pipeline's only
+privacy-preserving exits.  Some legitimate scripts do need another
+exit: a count the analyst has verified is public metadata, a value
+noised by an external mechanism, a debugging dump behind an access
+control the linter cannot see.
+
+``declassify(value, reason=...)`` is that exit.  At runtime it is the
+identity function — it adds **no** privacy protection whatsoever; it
+is an auditable, grep-able assertion by the author that releasing
+``value`` is safe for a stated reason.  upalint treats its result as
+untainted; the mandatory ``reason`` keeps the assertion honest in
+review.
+"""
+
+from __future__ import annotations
+
+from typing import TypeVar
+
+T = TypeVar("T")
+
+
+def declassify(value: T, *, reason: str) -> T:
+    """Assert that ``value`` is safe to release despite its provenance.
+
+    Identity at runtime; a sanitizer to the taint pass.  ``reason``
+    is required and must be non-empty — an unexplained declassification
+    is indistinguishable from a leak in review.
+    """
+    if not reason or not reason.strip():
+        raise ValueError(
+            "declassify() requires a non-empty reason: state why this "
+            "value is safe to release"
+        )
+    return value

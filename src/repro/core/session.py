@@ -472,7 +472,7 @@ class UPASession:
         ))
 
     def _static_gate(self, query: MapReduceQuery) -> None:
-        """Strict mode: upalint's purity pass at query registration.
+        """Strict mode: upalint's purity + taint passes at registration.
 
         Runs once per (query class, name); error-severity diagnostics
         abort the submission before any budget is charged.  Imported
@@ -484,10 +484,17 @@ class UPASession:
         if key in self._lint_cleared:
             return
         from repro.common.errors import StaticAnalysisError
-        from repro.staticcheck import Severity, check_query, render_text
+        from repro.staticcheck import (
+            Severity,
+            check_query,
+            check_query_taint,
+            render_text,
+        )
 
+        diagnostics = check_query(query)
+        diagnostics.extend(check_query_taint(query))
         errors = [
-            d for d in check_query(query) if d.severity == Severity.ERROR
+            d for d in diagnostics if d.severity == Severity.ERROR
         ]
         if errors:
             raise StaticAnalysisError(

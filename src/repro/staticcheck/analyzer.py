@@ -10,18 +10,25 @@ strict-mode sessions afford to run it at query registration.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Any, Iterable, List, Optional, Sequence
 
 from repro.staticcheck.diagnostics import (
     Diagnostic,
     Severity,
+    dedupe,
     has_errors,
     make_diagnostic,
     render_json,
     render_text,
 )
-from repro.staticcheck import budgetflow, purity, stability
+from repro.staticcheck import budgetflow, purity, stability, taint
+from repro.staticcheck.sarif import render_sarif
+from repro.staticcheck.suppress import (
+    apply_suppressions,
+    suppressions_for_file,
+)
 
 
 @dataclass
@@ -29,6 +36,9 @@ class LintReport:
     """All diagnostics from one analyzer invocation."""
 
     diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: True when --baseline pointed at a missing file and this run
+    #: recorded the current findings instead of reporting them.
+    baseline_written: bool = False
 
     def extend(self, diags: Iterable[Diagnostic]) -> None:
         self.diagnostics.extend(diags)
@@ -51,9 +61,16 @@ class LintReport:
     def exit_code(self) -> int:
         return 1 if not self.ok else 0
 
-    def render(self, as_json: bool = False) -> str:
-        if as_json:
+    def render(self, as_json: bool = False, format: str = "") -> str:
+        fmt = format or ("json" if as_json else "text")
+        if fmt == "json":
             return render_json(self.diagnostics)
+        if fmt == "sarif":
+            from repro._version import __version__
+
+            return render_sarif(
+                self.diagnostics, tool_version=__version__
+            )
         return render_text(self.diagnostics)
 
 
@@ -77,8 +94,9 @@ def lint_query(
     tables: Optional[dict] = None,
     include_plan: bool = True,
 ) -> List[Diagnostic]:
-    """Purity pass (always) + plan pass (when the query has a plan)."""
+    """Purity + taint passes (always) + plan pass (when available)."""
     diagnostics = purity.check_query(query)
+    diagnostics.extend(taint.check_query_methods(query))
     if include_plan and hasattr(query, "dataframe"):
         try:
             plan = query.dataframe(_schema_session()).plan
@@ -121,12 +139,33 @@ def lint_workloads(
     return diagnostics
 
 
-def lint_paths(paths: Sequence[str]) -> List[Diagnostic]:
-    """Budget-flow pass over files / directories of Python scripts."""
+def lint_paths(
+    paths: Sequence[str],
+    exclude: Sequence[str] = (),
+) -> List[Diagnostic]:
+    """Budget + taint passes over files / directories of scripts.
+
+    ``exclude`` holds paths (files or directory prefixes) to skip —
+    how CI keeps the deliberately-leaky lint fixtures out of the
+    clean-tree gate while still linting everything else.
+    """
+    excluded = {os.path.normpath(e) for e in exclude}
+
+    def _is_excluded(path: str) -> bool:
+        norm = os.path.normpath(path)
+        return any(
+            norm == e or norm.startswith(e + os.sep) for e in excluded
+        )
+
     diagnostics: List[Diagnostic] = []
+    suppressions = {}
     for path in budgetflow.iter_python_files(paths):
+        if _is_excluded(path):
+            continue
         diagnostics.extend(budgetflow.check_file(path))
-    return diagnostics
+        diagnostics.extend(taint.check_file(path))
+        suppressions[os.path.relpath(path)] = suppressions_for_file(path)
+    return apply_suppressions(diagnostics, suppressions)
 
 
 def run_lint(
@@ -134,13 +173,28 @@ def run_lint(
     workload_names: Optional[Sequence[str]] = None,
     paths: Sequence[str] = (),
     min_severity: Severity = Severity.INFO,
+    exclude: Sequence[str] = (),
+    baseline: Optional[str] = None,
 ) -> LintReport:
-    """The full analyzer: workload passes + script passes."""
+    """The full analyzer: workload passes + script passes.
+
+    With ``baseline`` set, findings recorded in that file are filtered
+    out (ratchet mode); a missing baseline file is created from the
+    current findings and the run reports clean — see
+    :mod:`repro.staticcheck.baseline`.
+    """
     report = LintReport()
     if workloads:
         report.extend(lint_workloads(workload_names))
     if paths:
-        report.extend(lint_paths(paths))
+        report.extend(lint_paths(paths, exclude=exclude))
+    report.diagnostics = dedupe(report.diagnostics)
+    if baseline:
+        from repro.staticcheck.baseline import apply_baseline
+
+        report.diagnostics, report.baseline_written = apply_baseline(
+            baseline, report.diagnostics
+        )
     if min_severity > Severity.INFO:
         report.diagnostics = [
             d for d in report.diagnostics if d.severity >= min_severity

@@ -1,0 +1,83 @@
+"""Baseline files: adopt upalint on a codebase with existing findings.
+
+``repro lint --baseline upalint-baseline.json <paths>`` has ratchet
+semantics:
+
+* baseline file absent → record every current finding and exit 0 (the
+  debt is acknowledged, not forgiven);
+* baseline file present → findings whose fingerprints appear in it are
+  filtered out; only *new* findings are reported and only new errors
+  fail the build.
+
+Fingerprints hash the finding's code, file, object and message — not
+its line number — so unrelated edits that shift code up or down do not
+invalidate the baseline, while any change to what is actually reported
+(a new site, a different receiver) shows up as new.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Iterable, List, Set, Tuple
+
+from repro.staticcheck.diagnostics import Diagnostic
+
+FORMAT_VERSION = 1
+
+
+def fingerprint(diag: Diagnostic) -> str:
+    """Stable, line-independent identity of one finding."""
+    payload = "\x1f".join(
+        (diag.code, diag.file, diag.obj, diag.message)
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def write_baseline(path: str, diagnostics: Iterable[Diagnostic]) -> int:
+    """Record the current findings; returns how many were recorded."""
+    records = {}
+    for diag in diagnostics:
+        records.setdefault(
+            fingerprint(diag),
+            {"code": diag.code, "file": diag.file,
+             "obj": diag.obj, "message": diag.message},
+        )
+    document = {
+        "format_version": FORMAT_VERSION,
+        "tool": "upalint",
+        "findings": dict(sorted(records.items())),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(records)
+
+
+def load_baseline(path: str) -> Set[str]:
+    """The set of known fingerprints recorded at ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if document.get("format_version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported baseline format in {path}: expected "
+            f"format_version={FORMAT_VERSION}"
+        )
+    return set(document.get("findings", {}))
+
+
+def apply_baseline(
+    path: str, diagnostics: List[Diagnostic]
+) -> Tuple[List[Diagnostic], bool]:
+    """Filter known findings; returns (new_findings, wrote_baseline).
+
+    When the file does not exist yet it is created from the current
+    findings and *everything* is treated as known.
+    """
+    if not os.path.exists(path):
+        write_baseline(path, diagnostics)
+        return [], True
+    known = load_baseline(path)
+    fresh = [d for d in diagnostics if fingerprint(d) not in known]
+    return fresh, False

@@ -1,4 +1,4 @@
-"""Budget-flow pass: AST checks over entry-point scripts.
+"""Budget-flow pass: accounting checks over entry-point scripts.
 
 UPA's privacy guarantee is only as good as its accounting: every
 released output must be charged to a :class:`PrivacyAccountant`, and
@@ -14,10 +14,16 @@ example / analyst scripts (no imports, no execution) and reports:
   ``plain_output``, neighbour outputs) flowing into ``print`` — fine
   in benchmarks, but those values are *not* differentially private.
 
-The pass is intraprocedural and name-based on purpose: it follows the
-overwhelmingly common pattern (``session = UPASession(...)`` then
-``session.run(...)``) and stays silent where it cannot resolve the
-receiver — a linter must never cry wolf on code it does not understand.
+The literal and print checks are flow-insensitive AST walks.  Session
+tracking runs on the shared dataflow framework
+(:mod:`repro.staticcheck.cfg` + :mod:`repro.staticcheck.dataflow`):
+each scope's CFG is solved to a fixed point over a two-label lattice
+(``charged`` / ``uncharged``), so a session rebound on one branch of
+an ``if`` merges correctly at the join instead of depending on source
+order.  A release is flagged only when *every* path reaching it holds
+an uncharged session (``uncharged`` present, ``charged`` absent) —
+the pass stays name-based and silent where it cannot resolve the
+receiver: a linter must never cry wolf on code it does not understand.
 """
 
 from __future__ import annotations
@@ -25,8 +31,10 @@ from __future__ import annotations
 import ast
 import math
 import os
-from typing import Iterable, List, Optional, Set
+from typing import FrozenSet, Iterable, List, Mapping, Optional
 
+from repro.staticcheck.cfg import BasicBlock, build_cfg
+from repro.staticcheck.dataflow import Env, env_join, env_set, solve_forward
 from repro.staticcheck.diagnostics import Diagnostic, make_diagnostic
 
 PASS = "budget"
@@ -44,6 +52,10 @@ NON_PRIVATE_FIELDS = {
 #: keyword names holding an epsilon at each call site.
 _EPSILON_KEYWORDS = {"epsilon", "total_epsilon", "epsilon_per_step"}
 _DELTA_KEYWORDS = {"delta", "total_delta"}
+
+#: session-accounting labels (the pass's tiny lattice).
+_UNCHARGED = frozenset({"uncharged"})
+_CHARGED = frozenset({"charged"})
 
 
 def _literal_number(node: ast.AST) -> Optional[float]:
@@ -72,14 +84,21 @@ def _call_name(node: ast.Call) -> str:
     return ""
 
 
-class _BudgetVisitor(ast.NodeVisitor):
+def _session_has_accountant(call: ast.Call) -> bool:
+    """Does this ``UPASession(...)`` construction pass an accountant?"""
+    for kw in call.keywords:
+        if kw.arg == "accountant" and not (
+            isinstance(kw.value, ast.Constant) and kw.value.value is None
+        ):
+            return True
+    # Positional form UPASession(config, engine, enforcer, accountant).
+    return len(call.args) >= 4
+
+
+class _BudgetPass:
     def __init__(self, file: str):
         self.file = file
         self.diagnostics: List[Diagnostic] = []
-        #: variable names bound to a UPASession WITHOUT an accountant.
-        self.uncharged_sessions: Set[str] = set()
-        #: names bound to sessions WITH an accountant (never flagged).
-        self.charged_sessions: Set[str] = set()
 
     # -- helpers ------------------------------------------------------------
 
@@ -89,6 +108,7 @@ class _BudgetVisitor(ast.NodeVisitor):
             make_diagnostic(
                 code, message, file=self.file,
                 line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0),
                 obj=os.path.basename(self.file), hint=hint, pass_name=PASS,
             )
         )
@@ -123,41 +143,106 @@ class _BudgetVisitor(ast.NodeVisitor):
                         "values are <= 1/|dataset|",
                     )
 
-    def _session_has_accountant(self, call: ast.Call) -> bool:
-        for kw in call.keywords:
-            if kw.arg == "accountant" and not (
-                isinstance(kw.value, ast.Constant) and kw.value.value is None
+    # -- flow-insensitive checks (literals, prints, inline sessions) --------
+
+    def _walk_checks(self, tree: ast.AST) -> None:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            if name in ("run", "run_sql", "UPAConfig", "UPASession",
+                        "PrivacyAccountant", "charge", "grouped_query"):
+                self._check_privacy_literals(node)
+            if name in ("run", "run_sql") and isinstance(
+                node.func, ast.Attribute
             ):
-                return True
-        # Positional form UPASession(config, engine, enforcer, accountant).
-        return len(call.args) >= 4
+                receiver = node.func.value
+                if isinstance(receiver, ast.Call) and (
+                    _call_name(receiver) == "UPASession"
+                    and not _session_has_accountant(receiver)
+                ):
+                    self._emit(
+                        "UPA201",
+                        f"UPASession(...).{name}() releases an output "
+                        "from a throwaway session with no "
+                        "PrivacyAccountant",
+                        node,
+                        hint="pass accountant=PrivacyAccountant("
+                        "total_epsilon=...) to UPASession",
+                    )
+            if name == "print":
+                for arg in ast.walk(node):
+                    if isinstance(arg, ast.Attribute) and (
+                        arg.attr in NON_PRIVATE_FIELDS
+                    ):
+                        self._emit(
+                            "UPA203",
+                            f"printing UPAResult.{arg.attr}: this field "
+                            "is evaluation-only and not differentially "
+                            "private; never show it to an analyst",
+                            arg,
+                            hint="release noisy_output / noisy_scalar() "
+                            "only",
+                        )
 
-    # -- visitors -----------------------------------------------------------
+    # -- flow-sensitive session tracking (on the shared CFG engine) ---------
 
-    def visit_Assign(self, node: ast.Assign) -> None:
-        value = node.value
-        if isinstance(value, ast.Call) and _call_name(value) == "UPASession":
-            charged = self._session_has_accountant(value)
-            for target in node.targets:
-                if isinstance(target, ast.Name):
-                    (self.charged_sessions if charged
-                     else self.uncharged_sessions).add(target.id)
-                    (self.uncharged_sessions if charged
-                     else self.charged_sessions).discard(target.id)
-        self.generic_visit(node)
+    def _transfer(self, block: BasicBlock, env: Env) -> Env:
+        for elem in block.elements:
+            env = self._step(elem, env, report=False)
+        return env
 
-    def visit_Call(self, node: ast.Call) -> None:
-        name = _call_name(node)
-        if name in ("run", "run_sql", "UPAConfig", "UPASession",
-                    "PrivacyAccountant", "charge", "grouped_query"):
-            self._check_privacy_literals(node)
-        if name in ("run", "run_sql") and isinstance(
-            node.func, ast.Attribute
-        ):
+    def _step(self, elem: ast.AST, env: Env, *, report: bool) -> Env:
+        if report:
+            self._report_element(elem, env)
+        if isinstance(elem, ast.Assign):
+            value = elem.value
+            if isinstance(value, ast.Call) and \
+                    _call_name(value) == "UPASession":
+                labels = (_CHARGED if _session_has_accountant(value)
+                          else _UNCHARGED)
+                for target in elem.targets:
+                    if isinstance(target, ast.Name):
+                        env = env_set(env, target.id, labels)
+            else:
+                # Rebinding a tracked name to anything else clears it.
+                for target in elem.targets:
+                    if isinstance(target, ast.Name) and target.id in env:
+                        env = env_set(env, target.id, frozenset())
+        return env
+
+    def _report_element(self, elem: ast.AST, env: Env) -> None:
+        if isinstance(elem, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested scope: analyze with the enclosing bindings minus
+            # anything the function's parameters shadow.
+            params = {
+                a.arg for a in (
+                    list(elem.args.posonlyargs) + list(elem.args.args)
+                    + list(elem.args.kwonlyargs)
+                    + ([elem.args.vararg] if elem.args.vararg else [])
+                    + ([elem.args.kwarg] if elem.args.kwarg else [])
+                )
+            }
+            initial = {name: labels for name, labels in env.items()
+                       if name not in params}
+            self._flow_scope(elem.body, initial)
+            return
+        if isinstance(elem, (ast.For, ast.AsyncFor, ast.With,
+                             ast.AsyncWith, ast.ClassDef)):
+            return  # headers / opaque scopes hold no session calls
+        for node in ast.walk(elem):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node)
+            if name not in ("run", "run_sql") or not isinstance(
+                node.func, ast.Attribute
+            ):
+                continue
             receiver = node.func.value
-            if isinstance(receiver, ast.Name) and (
-                receiver.id in self.uncharged_sessions
-            ):
+            if not isinstance(receiver, ast.Name):
+                continue
+            labels = env.get(receiver.id, frozenset())
+            if "uncharged" in labels and "charged" not in labels:
                 self._emit(
                     "UPA201",
                     f"{receiver.id}.{name}() releases an output, but "
@@ -168,33 +253,20 @@ class _BudgetVisitor(ast.NodeVisitor):
                     hint="pass accountant=PrivacyAccountant("
                     "total_epsilon=...) to UPASession",
                 )
-            elif isinstance(receiver, ast.Call) and (
-                _call_name(receiver) == "UPASession"
-                and not self._session_has_accountant(receiver)
-            ):
-                self._emit(
-                    "UPA201",
-                    f"UPASession(...).{name}() releases an output from "
-                    "a throwaway session with no PrivacyAccountant",
-                    node,
-                    hint="pass accountant=PrivacyAccountant("
-                    "total_epsilon=...) to UPASession",
-                )
-        if name == "print":
-            for arg in ast.walk(node):
-                if isinstance(arg, ast.Attribute) and (
-                    arg.attr in NON_PRIVATE_FIELDS
-                ):
-                    self._emit(
-                        "UPA203",
-                        f"printing UPAResult.{arg.attr}: this field is "
-                        "evaluation-only and not differentially "
-                        "private; never show it to an analyst",
-                        arg,
-                        hint="release noisy_output / noisy_scalar() "
-                        "only",
-                    )
-        self.generic_visit(node)
+
+    def _flow_scope(self, body: List[ast.stmt], initial: Env) -> Env:
+        cfg = build_cfg(body)
+        states = solve_forward(cfg, self._transfer, initial, env_join)
+        for block in cfg.blocks_in_order():
+            env = states[block.bid][0]
+            for elem in block.elements:
+                env = self._step(elem, env, report=True)
+        return states[cfg.exit][0]
+
+    def check_module(self, tree: ast.Module) -> List[Diagnostic]:
+        self._walk_checks(tree)
+        self._flow_scope(tree.body, {})
+        return self.diagnostics
 
 
 def check_source(
@@ -214,9 +286,7 @@ def check_source(
                 hint="fix the syntax error to enable budget analysis",
             )
         ]
-    visitor = _BudgetVisitor(filename)
-    visitor.visit(tree)
-    return visitor.diagnostics
+    return _BudgetPass(filename).check_module(tree)
 
 
 def check_file(path: str) -> List[Diagnostic]:

@@ -1,0 +1,263 @@
+"""Control-flow graphs over Python function/module bodies.
+
+The shared substrate for upalint's flow-sensitive passes (the taint
+pass in :mod:`repro.staticcheck.taint` and the budget pass in
+:mod:`repro.staticcheck.budgetflow`).  A :class:`CFG` is a set of
+:class:`BasicBlock`\\ s connected by directed edges; each block holds
+the *leaf* elements executed in it, in order:
+
+* plain simple statements (``ast.Assign``, ``ast.Expr``, ...);
+* the **test expression** of an ``if``/``while`` that the block
+  evaluates (an ``ast.expr`` element — clients that only care about
+  statements can skip non-``stmt`` elements);
+* loop / context-manager **headers**: the ``ast.For`` node itself (its
+  body lives in successor blocks; the element stands for "bind the
+  loop target from the iterable") and the ``ast.With`` node (standing
+  for "bind the ``as`` names from the context expressions").
+
+Every block also carries ``guards`` — the stack of enclosing branch /
+loop conditions that control whether the block executes.  That is what
+lets the taint pass flag a release whose execution is data-dependent
+(UPA302) without computing post-dominators: the builder is structured,
+so control dependence is simply the construction-time guard stack.
+
+The graph is an *approximation* by design (upalint never executes
+code): ``try`` bodies may jump to their handlers from the entry or the
+end of the body, ``raise`` edges go to the function exit, and nested
+function/class definitions are opaque single elements (their bodies
+are separate scopes analyzed by the client).  For may-analyses — "can
+a tainted value reach this statement" — the approximation errs on the
+side of exploring more paths, never fewer.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, NamedTuple, Sequence, Tuple
+
+
+class Guard(NamedTuple):
+    """One enclosing condition controlling a block's execution.
+
+    ``test`` is the branch/loop condition expression (for ``for``
+    loops, the iterable); ``kind`` is ``'if' | 'while' | 'for' |
+    'match' | 'except'``; ``line`` is the condition's source line.
+    """
+
+    test: ast.AST
+    kind: str
+    line: int
+
+
+class BasicBlock:
+    """A straight-line sequence of leaf elements."""
+
+    def __init__(self, bid: int, guards: Tuple[Guard, ...] = ()):
+        self.bid = bid
+        self.elements: List[ast.AST] = []
+        self.succs: List[int] = []
+        self.preds: List[int] = []
+        self.guards = guards
+
+    def __repr__(self) -> str:  # debugging aid
+        kinds = ",".join(type(e).__name__ for e in self.elements)
+        return (f"BasicBlock({self.bid}, [{kinds}], "
+                f"succs={self.succs})")
+
+
+class CFG:
+    """A control-flow graph with one entry and one exit block."""
+
+    def __init__(self) -> None:
+        self.blocks: Dict[int, BasicBlock] = {}
+        self._next_id = 0
+        self.entry = self.new_block().bid
+        self.exit = self.new_block().bid
+
+    def new_block(self, guards: Tuple[Guard, ...] = ()) -> BasicBlock:
+        block = BasicBlock(self._next_id, guards)
+        self._next_id += 1
+        self.blocks[block.bid] = block
+        return block
+
+    def add_edge(self, src: int, dst: int) -> None:
+        if dst not in self.blocks[src].succs:
+            self.blocks[src].succs.append(dst)
+        if src not in self.blocks[dst].preds:
+            self.blocks[dst].preds.append(src)
+
+    def blocks_in_order(self) -> List[BasicBlock]:
+        """Blocks in creation order (a stable quasi-topological order
+        for code without back edges; the worklist handles the rest)."""
+        return [self.blocks[bid] for bid in sorted(self.blocks)]
+
+
+class _LoopFrame(NamedTuple):
+    header: int  # target of `continue`
+    after: int  # target of `break`
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        self.loops: List[_LoopFrame] = []
+
+    # Every _stmt* method threads the "current" open block through and
+    # returns the block subsequent statements should append to.  A
+    # terminated path (after return/break/...) is represented by a
+    # fresh unreachable block, which the fixpoint engine simply never
+    # populates with state.
+
+    def build(self, body: Sequence[ast.stmt]) -> CFG:
+        cur = self.cfg.new_block()
+        self.cfg.add_edge(self.cfg.entry, cur.bid)
+        cur = self._stmts(body, cur)
+        self.cfg.add_edge(cur.bid, self.cfg.exit)
+        return self.cfg
+
+    def _stmts(self, body: Sequence[ast.stmt],
+               cur: BasicBlock) -> BasicBlock:
+        for stmt in body:
+            cur = self._stmt(stmt, cur)
+        return cur
+
+    def _stmt(self, stmt: ast.stmt, cur: BasicBlock) -> BasicBlock:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, cur)
+        if isinstance(stmt, ast.While):
+            return self._while(stmt, cur)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._for(stmt, cur)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, cur)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            cur.elements.append(stmt)  # binds the `as` names
+            return self._stmts(stmt.body, cur)
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, cur)
+        if isinstance(stmt, ast.Return):
+            cur.elements.append(stmt)
+            self.cfg.add_edge(cur.bid, self.cfg.exit)
+            return self.cfg.new_block(cur.guards)
+        if isinstance(stmt, ast.Raise):
+            cur.elements.append(stmt)
+            self.cfg.add_edge(cur.bid, self.cfg.exit)
+            return self.cfg.new_block(cur.guards)
+        if isinstance(stmt, ast.Break):
+            if self.loops:
+                self.cfg.add_edge(cur.bid, self.loops[-1].after)
+            return self.cfg.new_block(cur.guards)
+        if isinstance(stmt, ast.Continue):
+            if self.loops:
+                self.cfg.add_edge(cur.bid, self.loops[-1].header)
+            return self.cfg.new_block(cur.guards)
+        # Everything else — assignments, expression statements, nested
+        # def/class (opaque), imports, global/nonlocal, assert, pass —
+        # is a leaf element of the current block.
+        cur.elements.append(stmt)
+        return cur
+
+    def _if(self, stmt: ast.If, cur: BasicBlock) -> BasicBlock:
+        cur.elements.append(stmt.test)
+        guard = Guard(stmt.test, "if", stmt.lineno)
+        after = self.cfg.new_block(cur.guards)
+        then = self.cfg.new_block(cur.guards + (guard,))
+        self.cfg.add_edge(cur.bid, then.bid)
+        then_end = self._stmts(stmt.body, then)
+        self.cfg.add_edge(then_end.bid, after.bid)
+        if stmt.orelse:
+            orelse = self.cfg.new_block(cur.guards + (guard,))
+            self.cfg.add_edge(cur.bid, orelse.bid)
+            orelse_end = self._stmts(stmt.orelse, orelse)
+            self.cfg.add_edge(orelse_end.bid, after.bid)
+        else:
+            self.cfg.add_edge(cur.bid, after.bid)
+        return after
+
+    def _while(self, stmt: ast.While, cur: BasicBlock) -> BasicBlock:
+        header = self.cfg.new_block(cur.guards)
+        header.elements.append(stmt.test)
+        self.cfg.add_edge(cur.bid, header.bid)
+        guard = Guard(stmt.test, "while", stmt.lineno)
+        after = self.cfg.new_block(cur.guards)
+        body = self.cfg.new_block(cur.guards + (guard,))
+        self.cfg.add_edge(header.bid, body.bid)
+        self.cfg.add_edge(header.bid, after.bid)
+        self.loops.append(_LoopFrame(header.bid, after.bid))
+        body_end = self._stmts(stmt.body, body)
+        self.loops.pop()
+        self.cfg.add_edge(body_end.bid, header.bid)
+        if stmt.orelse:
+            orelse_end = self._stmts(
+                stmt.orelse, self.cfg.new_block(cur.guards)
+            )
+            self.cfg.add_edge(header.bid, orelse_end.bid)
+            self.cfg.add_edge(orelse_end.bid, after.bid)
+        return after
+
+    def _for(self, stmt, cur: BasicBlock) -> BasicBlock:
+        header = self.cfg.new_block(cur.guards)
+        header.elements.append(stmt)  # binds target from iter
+        self.cfg.add_edge(cur.bid, header.bid)
+        guard = Guard(stmt.iter, "for", stmt.lineno)
+        after = self.cfg.new_block(cur.guards)
+        body = self.cfg.new_block(cur.guards + (guard,))
+        self.cfg.add_edge(header.bid, body.bid)
+        self.cfg.add_edge(header.bid, after.bid)
+        self.loops.append(_LoopFrame(header.bid, after.bid))
+        body_end = self._stmts(stmt.body, body)
+        self.loops.pop()
+        self.cfg.add_edge(body_end.bid, header.bid)
+        if stmt.orelse:
+            orelse_end = self._stmts(
+                stmt.orelse, self.cfg.new_block(cur.guards)
+            )
+            self.cfg.add_edge(header.bid, orelse_end.bid)
+            self.cfg.add_edge(orelse_end.bid, after.bid)
+        return after
+
+    def _try(self, stmt: ast.Try, cur: BasicBlock) -> BasicBlock:
+        after = self.cfg.new_block(cur.guards)
+        body = self.cfg.new_block(cur.guards)
+        self.cfg.add_edge(cur.bid, body.bid)
+        body_end = self._stmts(stmt.body, body)
+        if stmt.orelse:
+            # `else` runs only when the body completed without raising.
+            else_block = self.cfg.new_block(cur.guards)
+            self.cfg.add_edge(body_end.bid, else_block.bid)
+            else_end = self._stmts(stmt.orelse, else_block)
+            self.cfg.add_edge(else_end.bid, after.bid)
+        else:
+            self.cfg.add_edge(body_end.bid, after.bid)
+        for handler in stmt.handlers:
+            guard = Guard(stmt, "except",
+                          getattr(handler, "lineno", stmt.lineno))
+            h_block = self.cfg.new_block(cur.guards + (guard,))
+            # The body may fail at its first or its last statement; an
+            # edge from each end approximates "anywhere in between".
+            self.cfg.add_edge(body.bid, h_block.bid)
+            self.cfg.add_edge(body_end.bid, h_block.bid)
+            h_end = self._stmts(handler.body, h_block)
+            self.cfg.add_edge(h_end.bid, after.bid)
+        if stmt.finalbody:
+            return self._stmts(stmt.finalbody, after)
+        return after
+
+    def _match(self, stmt: ast.Match, cur: BasicBlock) -> BasicBlock:
+        cur.elements.append(stmt.subject)
+        guard = Guard(stmt.subject, "match", stmt.lineno)
+        after = self.cfg.new_block(cur.guards)
+        self.cfg.add_edge(cur.bid, after.bid)  # no case may match
+        for case in stmt.cases:
+            c_block = self.cfg.new_block(cur.guards + (guard,))
+            self.cfg.add_edge(cur.bid, c_block.bid)
+            c_end = self._stmts(case.body, c_block)
+            self.cfg.add_edge(c_end.bid, after.bid)
+        return after
+
+
+def build_cfg(body: Sequence[ast.stmt]) -> CFG:
+    """Build a CFG over a statement list (a function body or a module
+    body).  Nested function/class definitions are opaque elements —
+    build a separate CFG over ``node.body`` to analyze them."""
+    return _Builder().build(body)

@@ -1,0 +1,119 @@
+"""A worklist fixed-point engine over :mod:`repro.staticcheck.cfg`.
+
+Generic forward may-analysis: the client supplies a *transfer
+function* (how one basic block transforms an abstract state) and a
+*join* (how states merge at control-flow confluences); the engine
+iterates to the least fixed point.  Both upalint flow passes — taint
+(:mod:`repro.staticcheck.taint`) and budget accounting
+(:mod:`repro.staticcheck.budgetflow`) — are clients.
+
+States are treated as opaque values compared with ``==``; the helpers
+at the bottom implement the common "environment" lattice used by both
+passes: an immutable mapping from variable name to a ``frozenset`` of
+labels, joined pointwise by set union.  That lattice has finite height
+for a finite label alphabet, so termination is guaranteed; a generous
+iteration cap turns a client bug (a non-monotone transfer) into a
+diagnostic instead of a hang.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Mapping, Tuple
+
+from repro.staticcheck.cfg import CFG, BasicBlock
+
+#: name -> set of labels.  Immutable so states can be shared/compared.
+Env = Mapping[str, FrozenSet[str]]
+
+EMPTY_ENV: Env = {}
+
+#: Safety valve: |blocks| * |lattice height| is tiny for real scripts;
+#: hitting this means a broken transfer function, not a big input.
+MAX_PASSES = 10_000
+
+
+def solve_forward(
+    cfg: CFG,
+    transfer: Callable[[BasicBlock, Env], Env],
+    initial: Env,
+    join: Callable[[Env, Env], Env],
+) -> Dict[int, Tuple[Env, Env]]:
+    """Run a forward analysis to fixed point.
+
+    Returns ``{block_id: (in_state, out_state)}``.  ``initial`` is the
+    state at the CFG entry; blocks never reached from the entry keep
+    the bottom state (``EMPTY_ENV``-shaped, whatever ``join`` of
+    nothing means to the client — here simply their initial in-state).
+    """
+    in_states: Dict[int, Env] = {bid: EMPTY_ENV for bid in cfg.blocks}
+    out_states: Dict[int, Env] = {bid: EMPTY_ENV for bid in cfg.blocks}
+    in_states[cfg.entry] = initial
+    out_states[cfg.entry] = transfer(cfg.blocks[cfg.entry], initial)
+
+    worklist = [b.bid for b in cfg.blocks_in_order()]
+    seen_passes = 0
+    while worklist:
+        seen_passes += 1
+        if seen_passes > MAX_PASSES:  # pragma: no cover - client bug
+            raise RuntimeError(
+                "dataflow did not converge; non-monotone transfer?"
+            )
+        bid = worklist.pop(0)
+        block = cfg.blocks[bid]
+        preds = block.preds
+        if bid == cfg.entry:
+            new_in = initial
+        elif preds:
+            new_in = out_states[preds[0]]
+            for pred in preds[1:]:
+                new_in = join(new_in, out_states[pred])
+        else:
+            new_in = in_states[bid]  # unreachable: stays bottom
+        new_out = transfer(block, new_in)
+        changed = (new_in != in_states[bid]
+                   or new_out != out_states[bid])
+        in_states[bid] = new_in
+        out_states[bid] = new_out
+        if changed:
+            for succ in block.succs:
+                if succ not in worklist:
+                    worklist.append(succ)
+    return {bid: (in_states[bid], out_states[bid]) for bid in cfg.blocks}
+
+
+# ---------------------------------------------------------------------------
+# The shared environment lattice
+# ---------------------------------------------------------------------------
+
+
+def env_join(a: Env, b: Env) -> Env:
+    """Pointwise union — the may-analysis join."""
+    if not a:
+        return b
+    if not b:
+        return a
+    merged = dict(a)
+    for name, labels in b.items():
+        have = merged.get(name)
+        merged[name] = labels if have is None else (have | labels)
+    return merged
+
+
+def env_set(env: Env, name: str, labels: FrozenSet[str]) -> Env:
+    """A copy of ``env`` with ``name`` rebound (strong update)."""
+    updated = dict(env)
+    if labels:
+        updated[name] = labels
+    else:
+        updated.pop(name, None)
+    return updated
+
+
+def env_add(env: Env, name: str, labels: FrozenSet[str]) -> Env:
+    """A copy of ``env`` with ``labels`` joined into ``name`` (weak
+    update — used for mutations like ``d[k] = v``)."""
+    if not labels:
+        return env
+    updated = dict(env)
+    updated[name] = updated.get(name, frozenset()) | labels
+    return updated

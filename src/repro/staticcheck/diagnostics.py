@@ -191,6 +191,48 @@ CODE_REGISTRY: Dict[str, CodeInfo] = {
             "differentially private and must never be released to an "
             "analyst; fine for local evaluation scripts.",
         ),
+        # -- taint pass (UPA3xx) ---------------------------------------
+        CodeInfo(
+            "UPA301", "protected-data-leak", Severity.ERROR,
+            "A value derived from protected records reaches a release "
+            "sink (print, file/socket/HTTP write, log interpolation, "
+            "or a return from the script's entry point) without "
+            "passing through session.run()/run_sql() or an explicit "
+            "declassify(). Raw, un-noised data leaves the pipeline "
+            "and no budget is charged — the end-to-end DP guarantee "
+            "is void.",
+        ),
+        CodeInfo(
+            "UPA302", "data-dependent-release", Severity.WARNING,
+            "A session.run()/run_sql() release executes under a "
+            "branch or loop condition derived from protected data. "
+            "Whether — and which — query runs becomes data-dependent, "
+            "so the sequence of executed plans itself leaks protected "
+            "information: the script-level analogue of the plan-"
+            "stability requirement (UPA1xx).",
+        ),
+        CodeInfo(
+            "UPA303", "tainted-privacy-parameter", Severity.ERROR,
+            "An epsilon/delta argument is derived from protected "
+            "data. A data-dependent privacy parameter is itself a "
+            "leak and voids the epsilon-DP accounting; privacy "
+            "parameters must be public constants.",
+        ),
+        CodeInfo(
+            "UPA304", "uncharged-release-interprocedural", Severity.WARNING,
+            "A function releases through a UPASession parameter that "
+            "its caller constructed without a PrivacyAccountant — the "
+            "interprocedural face of UPA201: the epsilon spend is "
+            "never charged against a total budget.",
+        ),
+        CodeInfo(
+            "UPA305", "evaluation-field-flow", Severity.INFO,
+            "A value carrying UPAResult evaluation-only data "
+            "(raw_output, plain_output, neighbour outputs) flows "
+            "through assignments into a print/write/log sink. The "
+            "flow-tracking complement of UPA203; fine for local "
+            "evaluation, never for analyst-facing output.",
+        ),
     ]
 }
 
@@ -205,9 +247,10 @@ class Diagnostic:
         severity: defaults to the registry's default for the code.
         file: source file the finding points at ('' if synthetic).
         line: 1-based line number (0 if unknown).
+        col: 0-based column offset (0 if unknown).
         obj: what was analyzed — query name, plan description, or path.
         hint: a concrete fix suggestion.
-        pass_name: 'purity' | 'plan' | 'budget'.
+        pass_name: 'purity' | 'plan' | 'budget' | 'taint'.
     """
 
     code: str
@@ -215,6 +258,7 @@ class Diagnostic:
     severity: Severity
     file: str = ""
     line: int = 0
+    col: int = 0
     obj: str = ""
     hint: str = ""
     pass_name: str = ""
@@ -225,6 +269,17 @@ class Diagnostic:
             return "<unknown>"
         return f"{self.file}:{self.line}" if self.line else self.file
 
+    @property
+    def sort_key(self):
+        """The canonical deterministic ordering: file, line, col, code.
+
+        Used everywhere diagnostics are rendered or compared, so two
+        runs (and two passes emitting at the same site) always present
+        findings identically.
+        """
+        return (self.file, self.line, self.col, self.code,
+                -int(self.severity), self.message)
+
     def to_dict(self) -> dict:
         return {
             "code": self.code,
@@ -232,6 +287,7 @@ class Diagnostic:
             "message": self.message,
             "file": self.file,
             "line": self.line,
+            "col": self.col,
             "obj": self.obj,
             "hint": self.hint,
             "pass": self.pass_name,
@@ -245,6 +301,7 @@ def make_diagnostic(
     severity: Optional[Severity] = None,
     file: str = "",
     line: int = 0,
+    col: int = 0,
     obj: str = "",
     hint: str = "",
     pass_name: str = "",
@@ -259,6 +316,7 @@ def make_diagnostic(
         severity=severity if severity is not None else info.default_severity,
         file=file,
         line=line,
+        col=col,
         obj=obj,
         hint=hint,
         pass_name=pass_name,
@@ -269,19 +327,25 @@ def has_errors(diagnostics: Iterable[Diagnostic]) -> bool:
     return any(d.severity == Severity.ERROR for d in diagnostics)
 
 
+def dedupe(diagnostics: Iterable[Diagnostic]) -> List[Diagnostic]:
+    """Drop identical findings (several passes can flag the same site)
+    and impose the canonical (file, line, col, code) ordering."""
+    return sorted(dict.fromkeys(diagnostics), key=lambda d: d.sort_key)
+
+
 def render_text(diagnostics: List[Diagnostic]) -> str:
     """Compiler-style one-line-per-finding rendering plus a summary."""
+    deduped = dedupe(diagnostics)
     lines = []
-    for d in sorted(diagnostics,
-                    key=lambda d: (-int(d.severity), d.code, d.file, d.line)):
+    for d in deduped:
         obj = f" [{d.obj}]" if d.obj else ""
         hint = f"\n    hint: {d.hint}" if d.hint else ""
         lines.append(
             f"{d.location}: {d.severity}: {d.code}{obj}: {d.message}{hint}"
         )
-    errors = sum(1 for d in diagnostics if d.severity == Severity.ERROR)
-    warnings = sum(1 for d in diagnostics if d.severity == Severity.WARNING)
-    infos = sum(1 for d in diagnostics if d.severity == Severity.INFO)
+    errors = sum(1 for d in deduped if d.severity == Severity.ERROR)
+    warnings = sum(1 for d in deduped if d.severity == Severity.WARNING)
+    infos = sum(1 for d in deduped if d.severity == Severity.INFO)
     lines.append(
         f"{errors} error(s), {warnings} warning(s), {infos} info(s)"
     )
@@ -290,14 +354,15 @@ def render_text(diagnostics: List[Diagnostic]) -> str:
 
 def render_json(diagnostics: List[Diagnostic]) -> str:
     """Machine-readable rendering (one JSON document, stable keys)."""
+    deduped = dedupe(diagnostics)
     return json.dumps(
         {
-            "diagnostics": [d.to_dict() for d in diagnostics],
+            "diagnostics": [d.to_dict() for d in deduped],
             "errors": sum(
-                1 for d in diagnostics if d.severity == Severity.ERROR
+                1 for d in deduped if d.severity == Severity.ERROR
             ),
             "warnings": sum(
-                1 for d in diagnostics if d.severity == Severity.WARNING
+                1 for d in deduped if d.severity == Severity.WARNING
             ),
         },
         indent=2,

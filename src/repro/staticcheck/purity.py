@@ -101,6 +101,28 @@ def _names_in(node: ast.AST) -> set:
     return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
 
 
+def _unwrap_callable(func):
+    """Peel decorator layers down to the innermost plain function.
+
+    ``inspect.unwrap`` only follows ``__wrapped__`` (functools.wraps);
+    methods built from ``functools.partial`` / ``partialmethod`` hide
+    the real function behind ``.func``, and bound/class methods behind
+    ``__func__`` — none of which ``inspect.getsourcelines`` can read,
+    so UPA006 used to misreport them as "source unavailable".
+    """
+    seen = set()
+    while id(func) not in seen:
+        seen.add(id(func))
+        for attr in ("__wrapped__", "__func__", "func"):
+            inner = getattr(func, attr, None)
+            if callable(inner):
+                func = inner
+                break
+        else:
+            break
+    return func
+
+
 class _MethodSource:
     """Parsed source of one method with absolute line mapping."""
 
@@ -108,7 +130,7 @@ class _MethodSource:
         self.owner_name = owner_name
         self.method_name = method_name
         self.func = func
-        raw = inspect.unwrap(func)
+        raw = _unwrap_callable(func)
         lines, start = inspect.getsourcelines(raw)
         self.start_line = start
         filename = inspect.getsourcefile(raw) or ""

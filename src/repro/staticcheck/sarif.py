@@ -1,0 +1,109 @@
+"""SARIF 2.1.0 rendering for upalint findings.
+
+SARIF (Static Analysis Results Interchange Format) is the OASIS
+standard code-scanning services ingest — GitHub's code-scanning tab
+renders an uploaded SARIF file as inline annotations on the PR diff.
+``repro lint --format sarif`` emits one run whose driver advertises
+every registered code as a rule, so consumers can show titles and
+summaries without knowing anything about UPA.
+
+Only the stable core of the format is produced: tool.driver.rules,
+results with ruleId/level/message/locations, and fingerprints matching
+:mod:`repro.staticcheck.baseline` so a SARIF consumer's "new since
+last scan" logic agrees with ``--baseline``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.staticcheck.baseline import fingerprint
+from repro.staticcheck.diagnostics import (
+    CODE_REGISTRY,
+    Diagnostic,
+    Severity,
+    dedupe,
+)
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def _rules() -> List[dict]:
+    return [
+        {
+            "id": info.code,
+            "name": info.title,
+            "shortDescription": {"text": info.title},
+            "fullDescription": {"text": info.summary},
+            "defaultConfiguration": {
+                "level": _LEVELS[info.default_severity]
+            },
+        }
+        for info in CODE_REGISTRY.values()
+    ]
+
+
+def _result(diag: Diagnostic) -> dict:
+    message = diag.message
+    if diag.hint:
+        message = f"{message} (hint: {diag.hint})"
+    result = {
+        "ruleId": diag.code,
+        "level": _LEVELS[diag.severity],
+        "message": {"text": message},
+        "partialFingerprints": {"upalint/v1": fingerprint(diag)},
+    }
+    if diag.file:
+        region = {}
+        if diag.line:
+            region["startLine"] = diag.line
+            # SARIF columns are 1-based; ast's col_offset is 0-based.
+            region["startColumn"] = diag.col + 1
+        location = {
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": diag.file.replace("\\", "/"),
+                },
+            }
+        }
+        if region:
+            location["physicalLocation"]["region"] = region
+        result["locations"] = [location]
+    return result
+
+
+def render_sarif(
+    diagnostics: List[Diagnostic], *, tool_version: str = ""
+) -> str:
+    """Render findings as a single-run SARIF 2.1.0 document."""
+    driver = {
+        "name": "upalint",
+        "informationUri":
+            "https://github.com/upa-repro/upa#static-analysis",
+        "rules": _rules(),
+    }
+    if tool_version:
+        driver["version"] = tool_version
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {"driver": driver},
+                "results": [_result(d) for d in dedupe(diagnostics)],
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -1,0 +1,97 @@
+"""Inline suppression comments for upalint findings.
+
+An analyst who has reviewed a finding can silence it at the site::
+
+    print(victim)              # upalint: disable=UPA301
+    # upalint: disable=UPA301,UPA305
+    fh.write(str(rows))
+    leak_everything()          # upalint: disable=all
+
+A suppression applies to the line it sits on, or — when the comment is
+alone on its line — to the next line, matching the convention of other
+linters.  Suppressions are collected with :mod:`tokenize`, not string
+search, so a ``# upalint:`` inside a string literal does not suppress
+anything.
+
+Suppressed findings are *dropped*, not downgraded: the analyst has
+asserted the site is safe and CI should stay green.  The paired audit
+trail for "known but unfixed" findings is the baseline file
+(:mod:`repro.staticcheck.baseline`).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, Iterable, List, Set
+
+from repro.staticcheck.diagnostics import Diagnostic
+
+_DIRECTIVE = re.compile(
+    r"#\s*upalint:\s*disable=([A-Za-z0-9_,\s]+|all)", re.IGNORECASE
+)
+
+
+def collect_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> set of suppressed codes ('*' meaning all).
+
+    A comment that is the only token on its line suppresses the *next*
+    line as well, so block-style suppressions read naturally.
+    """
+    suppressions: Dict[int, Set[str]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(
+            io.StringIO(source).readline
+        ))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return suppressions
+    code_lines = {
+        tok.start[0]
+        for tok in tokens
+        if tok.type
+        not in (tokenize.COMMENT, tokenize.NL, tokenize.NEWLINE,
+                tokenize.INDENT, tokenize.DEDENT, tokenize.ENDMARKER)
+    }
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _DIRECTIVE.search(tok.string)
+        if not match:
+            continue
+        spec = match.group(1).strip()
+        if spec.lower() == "all":
+            codes = {"*"}
+        else:
+            codes = {
+                c.strip().upper()
+                for c in spec.split(",") if c.strip()
+            }
+        line = tok.start[0]
+        suppressions.setdefault(line, set()).update(codes)
+        if line not in code_lines:  # standalone comment: covers next line
+            suppressions.setdefault(line + 1, set()).update(codes)
+    return suppressions
+
+
+def apply_suppressions(
+    diagnostics: Iterable[Diagnostic],
+    suppressions_by_file: Dict[str, Dict[int, Set[str]]],
+) -> List[Diagnostic]:
+    """Drop findings whose file:line carries a matching directive."""
+    kept: List[Diagnostic] = []
+    for diag in diagnostics:
+        codes = suppressions_by_file.get(diag.file, {}).get(diag.line)
+        if codes and ("*" in codes or diag.code in codes):
+            continue
+        kept.append(diag)
+    return kept
+
+
+def suppressions_for_file(path: str) -> Dict[int, Set[str]]:
+    """Collect suppression directives from one file on disk."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return collect_suppressions(handle.read())
+    except OSError:
+        return {}

@@ -1,0 +1,765 @@
+"""Interprocedural privacy taint pass (codes UPA301–UPA309).
+
+UPA's end-to-end guarantee assumes the analyst's *script* only ever
+releases DP outputs.  The runtime cannot enforce that: a protected
+table handle flowing into a ``print()``, a file write or an HTTP
+response never passes through ``session.run()``, so no noise is ever
+added and no budget is ever charged.  This pass tracks that flow
+statically over the shared CFG/worklist framework
+(:mod:`repro.staticcheck.cfg`, :mod:`repro.staticcheck.dataflow`),
+following calls between functions defined in the analyzed module.
+
+**Sources** (values labelled ``protected``):
+
+* protected table construction — ``XyzGenerator(...).generate()``,
+  ``dpread(...)``, ``make_tables``/``make_life_science_tables``/
+  ``load_tables`` calls;
+* registration — arguments of ``create_table``/``register_table``/
+  ``register_tables`` become protected from that point on;
+* records/values *derived* from the above by subscripting, iteration,
+  arithmetic, f-string interpolation, and pass-through builtins
+  (``str``, ``sorted``, ``min``...).
+
+``UPAResult`` evaluation-only fields (``raw_output`` et al.) are a
+second, softer source labelled ``eval`` (UPA305/UPA203 territory).
+
+**Sanitizers**: ``session.run(...)`` / ``session.run_sql(...)`` — a
+released value is differentially private — and an explicit
+:func:`repro.declassify` call, which documents a reviewed release.
+
+**Sinks**: ``print``, file/socket/HTTP writes (``.write``, ``.send``,
+``requests.post``, ``urlopen``...), logging calls, and ``return``
+from an entry point (``main`` or any function invoked from module
+top level).
+
+The pass deliberately does **not** taint scalar aggregates produced
+by opaque third-party calls (``len(tables["t"])``,
+``query.output(tables)``): a linter that flagged every derived
+statistic would cry wolf on every evaluation script.  What it does
+flag is the table handle itself, its records, and values reached from
+them through data flow the analyzer can actually see.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.staticcheck.budgetflow import (
+    NON_PRIVATE_FIELDS,
+    _DELTA_KEYWORDS,
+    _EPSILON_KEYWORDS,
+    _session_has_accountant,
+)
+from repro.staticcheck.cfg import CFG, BasicBlock, build_cfg
+from repro.staticcheck.dataflow import (
+    Env,
+    env_add,
+    env_join,
+    env_set,
+    solve_forward,
+)
+from repro.staticcheck.diagnostics import Diagnostic, make_diagnostic
+
+PASS = "taint"
+
+# -- taint labels -----------------------------------------------------------
+
+PROTECTED = "protected"  # raw protected records / table handles
+EVAL = "eval"  # UPAResult evaluation-only field values
+FACTORY = "factory"  # a dataset generator object (.generate() -> protected)
+UNCHARGED = "uncharged-session"  # UPASession built without an accountant
+CHARGED = "charged-session"
+
+_PROTECTED_SET = frozenset({PROTECTED})
+_EMPTY: FrozenSet[str] = frozenset()
+
+# -- source / sink / sanitizer vocabularies ---------------------------------
+
+#: plain calls whose result is a protected table/handle.
+SOURCE_CALLS = {"dpread", "make_tables", "make_life_science_tables",
+                "load_tables"}
+#: registering rows makes the passed variables protected.
+REGISTRATION_CALLS = {"create_table", "register_table", "register_tables"}
+#: releases: the result is differentially private.
+SANITIZER_CALLS = {"run", "run_sql", "declassify"}
+RELEASE_CALLS = {"run", "run_sql"}
+#: builtins through which taint flows unchanged (per-record values).
+PASSTHROUGH_CALLS = {
+    "str", "repr", "format", "ascii", "list", "tuple", "sorted",
+    "reversed", "set", "frozenset", "dict", "iter", "next", "min",
+    "max", "copy", "deepcopy", "float", "int", "bool", "complex",
+    "abs", "round", "zip", "enumerate", "filter", "map",
+}
+#: container methods that hand back the container's records.
+CONTAINER_METHODS = {
+    "copy", "items", "values", "keys", "get", "pop", "popitem",
+    "most_common", "head", "take", "collect",
+}
+#: attribute calls that write bytes/text somewhere observable.
+WRITE_SINK_METHODS = {
+    "write", "writelines", "send", "sendall", "sendto", "post", "put",
+    "patch", "publish",
+}
+#: calls that ship data over HTTP regardless of receiver.
+NETWORK_SINK_CALLS = {"urlopen", "urlretrieve"}
+LOG_METHODS = {"debug", "info", "warning", "warn", "error", "critical",
+               "exception", "log"}
+
+_MAX_CALL_DEPTH = 25
+
+
+def _trailing_name(func: ast.AST) -> str:
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _root_name(node: ast.AST) -> Optional[str]:
+    while isinstance(node, (ast.Attribute, ast.Subscript, ast.Starred)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_log_call(func: ast.AST) -> bool:
+    """``logging.info(...)`` / ``logger.error(...)`` style calls."""
+    if not (isinstance(func, ast.Attribute) and func.attr in LOG_METHODS):
+        return False
+    root = _root_name(func.value)
+    return bool(root) and root.lower().startswith("log")
+
+
+def _default_line(node: ast.AST) -> int:
+    return getattr(node, "lineno", 0)
+
+
+class _Scope:
+    """Per-analyzed-function bookkeeping."""
+
+    def __init__(self, name: str, is_entry: bool,
+                 params_with_uncharged: FrozenSet[str]):
+        self.name = name
+        self.is_entry = is_entry
+        self.params_with_uncharged = params_with_uncharged
+        self.return_labels: FrozenSet[str] = _EMPTY
+
+
+class TaintAnalyzer:
+    """One taint analysis over one module (or one monoid method)."""
+
+    def __init__(
+        self,
+        filename: str,
+        functions: Optional[Dict[str, ast.AST]] = None,
+        line_of: Callable[[ast.AST], int] = _default_line,
+        obj: str = "",
+    ):
+        self.file = filename
+        self.obj = obj or os.path.basename(filename)
+        self.functions = functions or {}
+        self.line_of = line_of
+        self.diagnostics: List[Diagnostic] = []
+        self.module_env: Env = {}
+        self.entry_points: Set[str] = set()
+        #: (fname, signature) -> return-taint labels
+        self._summaries: Dict[Tuple[str, Any], FrozenSet[str]] = {}
+        self._in_progress: Set[Tuple[str, Any]] = set()
+
+    # -- diagnostics --------------------------------------------------------
+
+    def _emit(self, code: str, message: str, node: ast.AST, *,
+              hint: str = "", severity=None) -> None:
+        self.diagnostics.append(
+            make_diagnostic(
+                code, message,
+                severity=severity,
+                file=self.file,
+                line=self.line_of(node),
+                col=getattr(node, "col_offset", 0),
+                obj=self.obj,
+                hint=hint,
+                pass_name=PASS,
+            )
+        )
+
+    # -- expression taint ---------------------------------------------------
+
+    def taint_of(self, node: ast.AST, env: Env) -> FrozenSet[str]:
+        if isinstance(node, ast.Name):
+            return env.get(node.id, _EMPTY)
+        if isinstance(node, ast.Constant):
+            return _EMPTY
+        if isinstance(node, ast.Attribute):
+            base = self.taint_of(node.value, env)
+            if node.attr in NON_PRIVATE_FIELDS:
+                return base | frozenset({EVAL})
+            return base
+        if isinstance(node, (ast.Subscript, ast.Starred, ast.Await)):
+            return self.taint_of(node.value, env)
+        if isinstance(node, ast.Call):
+            return self._taint_of_call(node, env)
+        if isinstance(node, ast.BinOp):
+            return (self.taint_of(node.left, env)
+                    | self.taint_of(node.right, env))
+        if isinstance(node, ast.BoolOp):
+            labels: FrozenSet[str] = _EMPTY
+            for value in node.values:
+                labels |= self.taint_of(value, env)
+            return labels
+        if isinstance(node, ast.Compare):
+            labels = self.taint_of(node.left, env)
+            for comp in node.comparators:
+                labels |= self.taint_of(comp, env)
+            return labels
+        if isinstance(node, ast.UnaryOp):
+            return self.taint_of(node.operand, env)
+        if isinstance(node, ast.IfExp):
+            return (self.taint_of(node.body, env)
+                    | self.taint_of(node.orelse, env))
+        if isinstance(node, ast.FormattedValue):
+            return self.taint_of(node.value, env)
+        if isinstance(node, ast.JoinedStr):
+            labels = _EMPTY
+            for value in node.values:
+                labels |= self.taint_of(value, env)
+            return labels
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            labels = _EMPTY
+            for elt in node.elts:
+                labels |= self.taint_of(elt, env)
+            return labels
+        if isinstance(node, ast.Dict):
+            labels = _EMPTY
+            for key in node.keys:
+                if key is not None:
+                    labels |= self.taint_of(key, env)
+            for value in node.values:
+                labels |= self.taint_of(value, env)
+            return labels
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                             ast.GeneratorExp)):
+            # Conservative: a comprehension over protected data yields
+            # protected elements; free names keep their env labels.
+            labels = _EMPTY
+            for gen in node.generators:
+                labels |= self.taint_of(gen.iter, env)
+            return labels
+        if isinstance(node, ast.NamedExpr):
+            return self.taint_of(node.value, env)
+        if isinstance(node, ast.Lambda):
+            return _EMPTY
+        return _EMPTY
+
+    def _taint_of_call(self, node: ast.Call, env: Env) -> FrozenSet[str]:
+        func = node.func
+        name = _trailing_name(func)
+        if name in SANITIZER_CALLS:
+            return _EMPTY  # a release / explicit declassification
+        if name in SOURCE_CALLS:
+            return _PROTECTED_SET
+        if name == "UPASession":
+            return frozenset(
+                {CHARGED if _session_has_accountant(node) else UNCHARGED}
+            )
+        if isinstance(func, ast.Name):
+            if func.id.endswith("Generator"):
+                return frozenset({FACTORY})
+            if func.id in self.functions:
+                return self._call_local(func.id, node, env)
+            if func.id in PASSTHROUGH_CALLS:
+                labels: FrozenSet[str] = _EMPTY
+                for arg in node.args:
+                    labels |= self.taint_of(arg, env)
+                for kw in node.keywords:
+                    labels |= self.taint_of(kw.value, env)
+                return labels
+            return _EMPTY
+        if isinstance(func, ast.Attribute):
+            receiver = self.taint_of(func.value, env)
+            if func.attr == "generate" and FACTORY in receiver:
+                return _PROTECTED_SET
+            if func.attr == "format":
+                labels = _EMPTY
+                for arg in node.args:
+                    labels |= self.taint_of(arg, env)
+                for kw in node.keywords:
+                    labels |= self.taint_of(kw.value, env)
+                return labels
+            if func.attr in CONTAINER_METHODS and (
+                PROTECTED in receiver or EVAL in receiver
+            ):
+                return receiver & frozenset({PROTECTED, EVAL})
+            if func.attr in PASSTHROUGH_CALLS and func.attr in (
+                "copy", "deepcopy"
+            ):
+                return receiver
+            # Opaque method call: aggregates, framework calls — clean.
+            return _EMPTY
+        return _EMPTY
+
+    # -- interprocedural ----------------------------------------------------
+
+    def _call_local(self, fname: str, call: ast.Call,
+                    env: Env) -> FrozenSet[str]:
+        """Summary-based analysis of a call to a module-local function."""
+        funcdef = self.functions[fname]
+        args = funcdef.args
+        params = [a.arg for a in
+                  list(args.posonlyargs) + list(args.args)]
+        bound: Dict[str, FrozenSet[str]] = {}
+        for i, arg in enumerate(call.args):
+            if isinstance(arg, ast.Starred) or i >= len(params):
+                continue
+            labels = self.taint_of(arg, env)
+            if labels:
+                bound[params[i]] = labels
+        for kw in call.keywords:
+            if kw.arg and kw.arg in params:
+                labels = self.taint_of(kw.value, env)
+                if labels:
+                    bound[kw.arg] = labels
+        return self.analyze_function(fname, bound)
+
+    def analyze_function(
+        self, fname: str, bound: Dict[str, FrozenSet[str]]
+    ) -> FrozenSet[str]:
+        """Analyze ``fname`` with taint labels bound to its parameters;
+        memoized on the (function, signature) pair.  Diagnostics inside
+        the callee are emitted once per distinct signature (and then
+        deduplicated by the analyzer's finalize step)."""
+        sig = tuple(sorted(
+            (name, tuple(sorted(labels))) for name, labels in bound.items()
+        ))
+        key = (fname, sig)
+        if key in self._summaries:
+            return self._summaries[key]
+        if key in self._in_progress or \
+                len(self._in_progress) > _MAX_CALL_DEPTH:
+            return _EMPTY  # recursion / pathological depth: stop here
+        self._in_progress.add(key)
+        try:
+            funcdef = self.functions[fname]
+            args = funcdef.args
+            param_names = {
+                a.arg for a in (
+                    list(args.posonlyargs) + list(args.args)
+                    + list(args.kwonlyargs)
+                    + ([args.vararg] if args.vararg else [])
+                    + ([args.kwarg] if args.kwarg else [])
+                )
+            }
+            initial = {
+                name: labels for name, labels in self.module_env.items()
+                if name not in param_names
+            }
+            for name, labels in bound.items():
+                initial[name] = labels
+            scope = _Scope(
+                fname,
+                is_entry=fname in self.entry_points,
+                params_with_uncharged=frozenset(
+                    name for name, labels in bound.items()
+                    if UNCHARGED in labels
+                ),
+            )
+            result = self._analyze_body(funcdef.body, initial, scope)
+            self._summaries[key] = result
+            return result
+        finally:
+            self._in_progress.discard(key)
+
+    # -- the flow analysis itself -------------------------------------------
+
+    def _analyze_body(self, body: Sequence[ast.stmt], initial: Env,
+                      scope: _Scope) -> FrozenSet[str]:
+        """Fixpoint + reporting pass over one scope; returns the taint
+        of the scope's returned value."""
+        cfg = build_cfg(body)
+
+        def transfer(block: BasicBlock, env: Env) -> Env:
+            for elem in block.elements:
+                env = self._step(elem, env, scope, report=False,
+                                 block=block)
+            return env
+
+        states = solve_forward(cfg, transfer, initial, env_join)
+        for block in cfg.blocks_in_order():
+            env = states[block.bid][0]
+            for elem in block.elements:
+                env = self._step(elem, env, scope, report=True,
+                                 block=block)
+        return scope.return_labels
+
+    def analyze_module(self, tree: ast.Module) -> None:
+        """Analyze module top-level code, then every module function."""
+        self.functions = {
+            stmt.name: stmt for stmt in tree.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        # Entry points: `main` plus anything invoked from top level
+        # (including under `if __name__ == "__main__":`).
+        called: Set[str] = set()
+
+        def _collect_calls(stmts: Iterable[ast.stmt]) -> None:
+            for stmt in stmts:
+                if isinstance(stmt, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef, ast.ClassDef)):
+                    continue
+                for node in ast.walk(stmt):
+                    if isinstance(node, ast.Call) and \
+                            isinstance(node.func, ast.Name):
+                        called.add(node.func.id)
+
+        _collect_calls(tree.body)
+        self.entry_points = (called | {"main"}) & set(self.functions)
+
+        # Module top-level flow (binds the base environment functions
+        # inherit for reads of module globals).
+        module_scope = _Scope("<module>", is_entry=False,
+                              params_with_uncharged=frozenset())
+        cfg = build_cfg(tree.body)
+
+        def transfer(block: BasicBlock, env: Env) -> Env:
+            for elem in block.elements:
+                env = self._step(elem, env, module_scope, report=False,
+                                 block=block)
+            return env
+
+        states = solve_forward(cfg, transfer, {}, env_join)
+        self.module_env = states[cfg.exit][0]
+        for block in cfg.blocks_in_order():
+            env = states[block.bid][0]
+            for elem in block.elements:
+                env = self._step(elem, env, module_scope, report=True,
+                                 block=block)
+        # Every module function gets analyzed at least once (clean
+        # signature) so leaks of sources constructed *inside* helper
+        # functions are found even if the helper is never called.
+        for fname in self.functions:
+            self.analyze_function(fname, {})
+
+    # -- statement transfer (shared by fixpoint + reporting) ----------------
+
+    def _step(self, elem: ast.AST, env: Env, scope: _Scope, *,
+              report: bool, block: BasicBlock) -> Env:
+        if report:
+            self._scan_calls(elem, env, scope, block)
+        if isinstance(elem, ast.Assign):
+            labels = self.taint_of(elem.value, env)
+            for target in elem.targets:
+                env = self._bind(target, elem.value, labels, env)
+            return env
+        if isinstance(elem, ast.AnnAssign) and elem.value is not None:
+            labels = self.taint_of(elem.value, env)
+            return self._bind(elem.target, elem.value, labels, env)
+        if isinstance(elem, ast.AugAssign):
+            labels = self.taint_of(elem.value, env)
+            root = _root_name(elem.target)
+            if root:
+                env = env_add(env, root, labels)
+            return env
+        if isinstance(elem, (ast.For, ast.AsyncFor)):
+            labels = self.taint_of(elem.iter, env)
+            return self._bind(elem.target, elem.iter, labels, env)
+        if isinstance(elem, (ast.With, ast.AsyncWith)):
+            for item in elem.items:
+                if item.optional_vars is not None:
+                    labels = self.taint_of(item.context_expr, env)
+                    env = self._bind(item.optional_vars,
+                                     item.context_expr, labels, env)
+            return env
+        if isinstance(elem, ast.Return):
+            labels = (self.taint_of(elem.value, env)
+                      if elem.value is not None else _EMPTY)
+            scope.return_labels |= labels
+            if report and scope.is_entry and PROTECTED in labels:
+                self._emit(
+                    "UPA301",
+                    f"{scope.name}() is an entry point and returns a "
+                    "value derived from protected records; whoever "
+                    "called the script receives raw, un-noised data",
+                    elem,
+                    hint="release session.run(...).noisy_output (or "
+                    "wrap a reviewed value in declassify()) instead of "
+                    "returning raw records",
+                )
+            return env
+        # Registration calls make their argument variables protected.
+        env = self._apply_registrations(elem, env)
+        return env
+
+    def _bind(self, target: ast.AST, value: Optional[ast.AST],
+              labels: FrozenSet[str], env: Env) -> Env:
+        if isinstance(target, ast.Name):
+            return env_set(env, target.id, labels)
+        if isinstance(target, (ast.Tuple, ast.List)):
+            # Elementwise when the RHS is a literal tuple of the same
+            # length; otherwise every element inherits the full label
+            # set (unpacking a protected sequence yields records).
+            if isinstance(value, (ast.Tuple, ast.List)) and \
+                    len(value.elts) == len(target.elts):
+                for t_elt, v_elt in zip(target.elts, value.elts):
+                    env = self._bind(t_elt, v_elt,
+                                     self.taint_of(v_elt, env), env)
+                return env
+            for t_elt in target.elts:
+                env = self._bind(t_elt, None, labels, env)
+            return env
+        if isinstance(target, ast.Starred):
+            return self._bind(target.value, None, labels, env)
+        if isinstance(target, (ast.Subscript, ast.Attribute)):
+            root = _root_name(target)
+            if root:
+                return env_add(env, root, labels)
+        return env
+
+    def _apply_registrations(self, elem: ast.AST, env: Env) -> Env:
+        for call in self._calls_in(elem):
+            if _trailing_name(call.func) in REGISTRATION_CALLS:
+                for arg in list(call.args) + [
+                    kw.value for kw in call.keywords
+                ]:
+                    if isinstance(arg, ast.Name):
+                        env = env_add(env, arg.id, _PROTECTED_SET)
+        return env
+
+    # -- sinks, releases, privacy parameters --------------------------------
+
+    def _calls_in(self, elem: ast.AST) -> List[ast.Call]:
+        """Call nodes evaluated *by this element* (headers contribute
+        only their own expressions, never their bodies)."""
+        if isinstance(elem, (ast.For, ast.AsyncFor)):
+            roots: List[ast.AST] = [elem.iter]
+        elif isinstance(elem, (ast.With, ast.AsyncWith)):
+            roots = [item.context_expr for item in elem.items]
+        elif isinstance(elem, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            return []  # separate scopes
+        else:
+            roots = [elem]
+        calls: List[ast.Call] = []
+        for root in roots:
+            for node in ast.walk(root):
+                if isinstance(node, ast.Call):
+                    calls.append(node)
+        return calls
+
+    def _scan_calls(self, elem: ast.AST, env: Env, scope: _Scope,
+                    block: BasicBlock) -> None:
+        for call in self._calls_in(elem):
+            name = _trailing_name(call.func)
+            if name == "print":
+                self._check_sink(call, env, "print()")
+            elif isinstance(call.func, ast.Attribute) and \
+                    call.func.attr in WRITE_SINK_METHODS:
+                self._check_sink(call, env,
+                                 f".{call.func.attr}() write")
+            elif name in NETWORK_SINK_CALLS:
+                self._check_sink(call, env, f"{name}()")
+            elif _is_log_call(call.func):
+                self._check_sink(call, env, f"log call .{name}()")
+            if name in RELEASE_CALLS and isinstance(
+                call.func, ast.Attribute
+            ):
+                self._check_release(call, env, scope, block)
+            if name in ("run", "run_sql", "UPAConfig",
+                        "PrivacyAccountant", "charge", "grouped_query",
+                        "release_histogram"):
+                self._check_privacy_params(call, env)
+            # Analyze local helpers reached as bare call statements too
+            # (result discarded, so taint_of never visited them).
+            if isinstance(call.func, ast.Name) and \
+                    call.func.id in self.functions:
+                self._call_local(call.func.id, call, env)
+
+    def _check_sink(self, call: ast.Call, env: Env, what: str) -> None:
+        for arg in list(call.args) + [kw.value for kw in call.keywords]:
+            labels = self.taint_of(arg, env)
+            if PROTECTED in labels:
+                self._emit(
+                    "UPA301",
+                    f"a value derived from protected records reaches "
+                    f"{what} without passing through session.run() — "
+                    "raw, un-noised data leaves the pipeline and no "
+                    "budget is charged",
+                    arg,
+                    hint="release only DP outputs "
+                    "(result.noisy_output / noisy_scalar()), or wrap "
+                    "a reviewed value in repro.declassify()",
+                )
+            elif EVAL in labels and not self._directly_references_field(
+                arg
+            ):
+                self._emit(
+                    "UPA305",
+                    f"a value carrying UPAResult evaluation-only data "
+                    f"flows into {what}; those fields (raw_output, "
+                    "plain_output, neighbour outputs) are not "
+                    "differentially private",
+                    arg,
+                    hint="fine for local evaluation; never show these "
+                    "values to an analyst",
+                )
+
+    @staticmethod
+    def _directly_references_field(arg: ast.AST) -> bool:
+        """The direct-print case UPA203 already reports — skip the
+        flow-based duplicate when the sink argument itself names the
+        evaluation field."""
+        return any(
+            isinstance(node, ast.Attribute)
+            and node.attr in NON_PRIVATE_FIELDS
+            for node in ast.walk(arg)
+        )
+
+    def _check_release(self, call: ast.Call, env: Env, scope: _Scope,
+                       block: BasicBlock) -> None:
+        # UPA302: the release executes under data-dependent control
+        # flow — the script-level analogue of plan stability.
+        for guard in block.guards:
+            if guard.kind not in ("if", "while", "for", "match"):
+                continue
+            if PROTECTED in self.taint_of(guard.test, env):
+                kind = ("iterating over protected data"
+                        if guard.kind == "for"
+                        else f"an `{guard.kind}` condition derived "
+                        "from protected records")
+                self._emit(
+                    "UPA302",
+                    f"this {_trailing_name(call.func)}() release "
+                    f"executes under {kind} (line {guard.line}); "
+                    "whether — and which — query runs becomes "
+                    "data-dependent, so the sequence of executed "
+                    "plans itself leaks protected information",
+                    call,
+                    hint="decide the query schedule from public "
+                    "values only, or release the branching value "
+                    "first via a DP query",
+                )
+                break
+        # UPA304: released through a session a *caller* constructed
+        # without an accountant (the interprocedural face of UPA201).
+        receiver = call.func.value
+        if isinstance(receiver, ast.Name):
+            labels = env.get(receiver.id, _EMPTY)
+            if (UNCHARGED in labels and CHARGED not in labels
+                    and receiver.id in scope.params_with_uncharged):
+                self._emit(
+                    "UPA304",
+                    f"{scope.name}() releases through parameter "
+                    f"{receiver.id!r}, a UPASession its caller "
+                    "constructed without a PrivacyAccountant — the "
+                    "epsilon spend is never charged against a total "
+                    "budget (see UPA201)",
+                    call,
+                    hint="construct the session with accountant="
+                    "PrivacyAccountant(total_epsilon=...) at the "
+                    "call site",
+                )
+
+    def _check_privacy_params(self, call: ast.Call, env: Env) -> None:
+        name = _trailing_name(call.func)
+        candidates: List[Tuple[str, ast.AST]] = []
+        for kw in call.keywords:
+            if kw.arg in _EPSILON_KEYWORDS or kw.arg in _DELTA_KEYWORDS:
+                candidates.append((kw.arg, kw.value))
+        if name in RELEASE_CALLS and len(call.args) >= 3:
+            candidates.append(("epsilon", call.args[2]))
+        for param, value in candidates:
+            labels = self.taint_of(value, env)
+            if PROTECTED in labels or EVAL in labels:
+                self._emit(
+                    "UPA303",
+                    f"the {param} passed to {name}() is derived from "
+                    "protected data; a data-dependent privacy "
+                    "parameter is itself a leak and voids the "
+                    "epsilon-DP accounting",
+                    value,
+                    hint="privacy parameters must be public "
+                    "constants (the paper's evaluation uses 0.1)",
+                )
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+
+def check_source(source: str, filename: str = "<string>"
+                 ) -> List[Diagnostic]:
+    """Run the taint pass over Python source text (a script/module)."""
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError:
+        return []  # budgetflow already reports unparsable files
+    analyzer = TaintAnalyzer(filename)
+    analyzer.analyze_module(tree)
+    return analyzer.diagnostics
+
+
+def check_file(path: str) -> List[Diagnostic]:
+    """Run the taint pass over one Python file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    try:
+        rel = os.path.relpath(path)
+    except ValueError:
+        rel = path
+    return check_source(source, rel)
+
+
+#: monoid methods whose leading parameter is raw protected data.
+_TAINTED_METHOD_PARAMS = {
+    "map_record": "one raw protected record",
+    "map_batch": "a batch of raw protected records",
+    "build_aux": "the protected tables",
+}
+
+
+def check_query_methods(query: Any) -> List[Diagnostic]:
+    """Taint pass over a query's monoid methods: the ``record`` /
+    ``records`` / ``tables`` parameter IS protected data, so a
+    ``print``/write/log inside a monoid method is a raw-record leak
+    (UPA301) replayed ~2n times across the sampled neighbours."""
+    from repro.staticcheck import purity
+
+    cls = query if isinstance(query, type) else type(query)
+    owner = getattr(query, "name", "") or cls.__name__
+    diagnostics: List[Diagnostic] = []
+    for method_name, what in _TAINTED_METHOD_PARAMS.items():
+        func = purity._resolve_method(cls, method_name)
+        if func is None:
+            continue
+        try:
+            src = purity._MethodSource(func, owner, method_name)
+        except (OSError, TypeError, SyntaxError, IndentationError,
+                ValueError):
+            continue  # the purity pass already reports UPA006
+        if not src.params:
+            continue
+        analyzer = TaintAnalyzer(
+            src.file, functions={}, line_of=src.line_of, obj=owner,
+        )
+        scope = _Scope(f"{owner}.{method_name}", is_entry=False,
+                       params_with_uncharged=frozenset())
+        initial = {src.params[0]: _PROTECTED_SET}
+        analyzer._analyze_body(src.node.body, initial, scope)
+        for diag in analyzer.diagnostics:
+            diagnostics.append(diag)
+    return diagnostics
