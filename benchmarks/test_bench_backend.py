@@ -1,0 +1,361 @@
+"""Executor backend sweep: threads vs processes vs inline, plus columnar.
+
+Sweeps rows × workers × backend over picklable engine workloads — the
+scalar neighbour-generation kernel (pure-Python per-record map plus
+prefix/suffix folds, the shape of UPA's hot loop), a plain map/sum
+pipeline, and a columnar column-sum — and records wall-clock plus
+bitwise equivalence against the thread backend.  A second section
+measures the columnar SQL path's per-row boxing reduction on TPC-H Q6.
+
+Writes ``BENCH_backend.json`` at the repo root (override with
+``BENCH_BACKEND_OUTPUT``) including environment metadata — the
+process-vs-threads speedup is only meaningful with real cores, so the
+``>= MIN_SPEEDUP`` gate is enforced only when ``os.cpu_count() >= 4``
+and the sweep point has ``rows >= 10_000`` and ``workers >= 4``; on
+smaller machines the honest (possibly < 1x) numbers are recorded and
+the gate is reported as skipped.  Equivalence (``max_abs_diff == 0.0``
+for every swept point) and the columnar boxing-reduction gate are
+enforced unconditionally.
+
+Knobs:
+
+* ``BENCH_BACKEND_ROWS`` — comma-separated row counts (default
+  ``2000,10000``).
+* ``BENCH_BACKEND_WORKERS`` — comma-separated worker counts (default
+  ``2,4``).
+* ``BENCH_BACKEND_MIN_SPEEDUP`` — the conditional gate (default 2.0).
+* ``BENCH_BACKEND_INNER_REPEATS`` — kernel work amplification so the
+  compute dominates pool round-trips at small scales (default 8).
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_backend.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from typing import Any, Dict, List
+
+from benchmarks.conftest import emit_report
+from repro.analysis import format_table
+from repro.common.config import EngineConfig
+from repro.common.rng import make_rng
+from repro.engine import EngineContext
+from repro.engine.metrics import MetricsRegistry
+from repro.sql import SQLSession
+from repro.tpch import TPCHConfig, TPCHGenerator, query_by_name
+from repro.tpch.datagen import register_tables
+
+ROWS = [
+    int(v) for v in os.environ.get("BENCH_BACKEND_ROWS", "2000,10000").split(",")
+]
+WORKERS = [
+    int(v) for v in os.environ.get("BENCH_BACKEND_WORKERS", "2,4").split(",")
+]
+MIN_SPEEDUP = float(os.environ.get("BENCH_BACKEND_MIN_SPEEDUP", "2.0"))
+INNER_REPEATS = int(os.environ.get("BENCH_BACKEND_INNER_REPEATS", "8"))
+OUTPUT = os.environ.get(
+    "BENCH_BACKEND_OUTPUT",
+    os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_backend.json"),
+)
+REPEATS = 3
+SEED = 23
+SQL_SCALE = int(os.environ.get("BENCH_BACKEND_SQL_SCALE", "4000"))
+
+#: the sweep point(s) the conditional speedup gate applies to.
+GATE_WORKLOAD = "neighbour_generation"
+GATE_MIN_ROWS = 10_000
+GATE_MIN_WORKERS = 4
+
+
+class _NeighbourKernel:
+    """Scalar neighbour generation over one partition, pure Python.
+
+    Mirrors the shape of UPA's hot loop — a per-record arithmetic map
+    (Q6-style predicate + revenue term) followed by all-but-one folds
+    via prefix/suffix accumulation.  Being pure Python it holds the GIL
+    throughout, which is exactly why it separates the thread and
+    process backends.  ``inner_repeats`` amplifies the compute so pool
+    round-trips do not dominate at benchmark scales.
+    """
+
+    __slots__ = ("inner_repeats",)
+
+    def __init__(self, inner_repeats: int):
+        self.inner_repeats = inner_repeats
+
+    @staticmethod
+    def _map(record):
+        discount = record["discount"]
+        if not 0.03 <= discount <= 0.08:
+            return 0.0
+        if not record["quantity"] < 40:
+            return 0.0
+        return record["price"] * discount
+
+    def __call__(self, it):
+        rows = list(it)
+        total = 0.0
+        for _ in range(self.inner_repeats):
+            mapped = [self._map(r) for r in rows]
+            n = len(mapped)
+            prefix = [0.0] * (n + 1)
+            for i, v in enumerate(mapped):
+                prefix[i + 1] = prefix[i] + v
+            suffix = [0.0] * (n + 1)
+            for i in range(n - 1, -1, -1):
+                suffix[i] = suffix[i + 1] + mapped[i]
+            # 2n leave-one-out aggregates, folded to one comparable sum.
+            total += sum(prefix[i] + suffix[i + 1] for i in range(n))
+        return [total]
+
+
+class _SquareMap:
+    __slots__ = ("inner_repeats",)
+
+    def __init__(self, inner_repeats: int):
+        self.inner_repeats = inner_repeats
+
+    def __call__(self, it):
+        out = 0.0
+        values = list(it)
+        for _ in range(self.inner_repeats):
+            for v in values:
+                out += v * v
+        return [out]
+
+
+class _ColumnSum:
+    """Column-aware kernel: sums the ``price`` column of each partition."""
+
+    __slots__ = ("inner_repeats",)
+
+    def __init__(self, inner_repeats: int):
+        self.inner_repeats = inner_repeats
+
+    def __call__(self, it):
+        from repro.core.batch import column_values
+
+        blocks = list(it)
+        total = 0.0
+        for _ in range(self.inner_repeats):
+            for block in blocks:
+                total += float(column_values(block, "price").sum())
+        return [total]
+
+
+def _make_rows(n: int) -> List[dict]:
+    rng = make_rng(SEED, "bench-backend")
+    return [
+        {
+            "price": rng.uniform(100.0, 10_000.0),
+            "discount": rng.uniform(0.0, 0.1),
+            "quantity": float(rng.randint(1, 50)),
+        }
+        for _ in range(n)
+    ]
+
+
+def _run(backend: str, workers: int, rows, kernel, columnar: bool):
+    ctx = EngineContext(
+        EngineConfig(
+            backend=backend, max_workers=workers, default_parallelism=workers
+        )
+    )
+    try:
+        if columnar:
+            rdd = ctx.parallelize_columnar(rows, workers).blocks_rdd()
+        else:
+            rdd = ctx.parallelize(rows, workers)
+        rdd = rdd.map_partitions(kernel)
+
+        out = rdd.collect()
+        best = float("inf")
+        for _ in range(REPEATS):
+            start = time.perf_counter()
+            rdd.collect()
+            best = min(best, time.perf_counter() - start)
+        fallbacks = ctx.metrics.get(MetricsRegistry.PROCESS_FALLBACKS)
+        return out, best, fallbacks
+    finally:
+        ctx.stop()
+
+
+def _max_abs_diff(a: List[float], b: List[float]) -> float:
+    if len(a) != len(b):
+        return float("inf")
+    return max((abs(x - y) for x, y in zip(a, b)), default=0.0)
+
+
+def _sweep() -> List[Dict[str, Any]]:
+    entries: List[Dict[str, Any]] = []
+    workloads = [
+        ("neighbour_generation", _NeighbourKernel(INNER_REPEATS), False),
+        ("map_sum", _SquareMap(INNER_REPEATS), False),
+        ("columnar_scan", _ColumnSum(INNER_REPEATS), True),
+    ]
+    for n in ROWS:
+        rows = _make_rows(n)
+        plain = [r["price"] for r in rows]
+        for name, kernel, columnar in workloads:
+            data = rows if name != "map_sum" else plain
+            for workers in WORKERS:
+                reference, _sec, _fb = _run(
+                    "inline", workers, data, kernel, columnar
+                )
+                timings: Dict[str, float] = {}
+                diffs: Dict[str, float] = {}
+                fallback_counts: Dict[str, float] = {}
+                for backend in ("threads", "processes"):
+                    out, seconds, fallbacks = _run(
+                        backend, workers, data, kernel, columnar
+                    )
+                    timings[backend] = seconds
+                    diffs[backend] = _max_abs_diff(out, reference)
+                    fallback_counts[backend] = fallbacks
+                entries.append(
+                    {
+                        "workload": name,
+                        "rows": n,
+                        "workers": workers,
+                        "threads_seconds": timings["threads"],
+                        "processes_seconds": timings["processes"],
+                        "process_speedup_vs_threads": timings["threads"]
+                        / max(timings["processes"], 1e-12),
+                        "max_abs_diff": max(diffs.values()),
+                        "process_fallbacks": fallback_counts["processes"],
+                    }
+                )
+    return entries
+
+
+def _columnar_sql() -> Dict[str, Any]:
+    tables = TPCHGenerator(
+        TPCHConfig(scale_rows=SQL_SCALE, seed=SEED)
+    ).generate()
+    query = query_by_name("tpch6")
+    outputs = {}
+    metrics = {}
+    timings = {}
+    for columnar in (False, True):
+        session = SQLSession()
+        register_tables(session, tables, columnar=columnar)
+        plan = session.optimize_plan(query.dataframe(session).plan)
+
+        def run():
+            return session.executor.execute(plan).collect()
+
+        outputs[columnar] = run()
+        best = float("inf")
+        for _ in range(REPEATS):
+            start = time.perf_counter()
+            run()
+            best = min(best, time.perf_counter() - start)
+        timings[columnar] = best
+        snap = session.engine.metrics.snapshot()
+        metrics[columnar] = (
+            snap.get(MetricsRegistry.SQL_COLUMNAR_ROWS_SCANNED),
+            snap.get(MetricsRegistry.SQL_COLUMNAR_ROWS_BOXED),
+        )
+    scanned, boxed = metrics[True]
+    return {
+        "query": "tpch6",
+        "scale": SQL_SCALE,
+        "identical": outputs[False] == outputs[True],
+        "row_seconds": timings[False],
+        "columnar_seconds": timings[True],
+        "rows_scanned": scanned,
+        "rows_boxed": boxed,
+        "boxing_reduction": 1.0 - (boxed / scanned if scanned else 1.0),
+    }
+
+
+def test_bench_backend():
+    sweep = _sweep()
+    columnar = _columnar_sql()
+    cpu_count = os.cpu_count() or 1
+    gate_enforced = cpu_count >= GATE_MIN_WORKERS
+    payload = {
+        "benchmark": "executor_backend_sweep",
+        "environment": {
+            "cpu_count": cpu_count,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "inner_repeats": INNER_REPEATS,
+            "repeats": REPEATS,
+            "seed": SEED,
+        },
+        "gate": {
+            "workload": GATE_WORKLOAD,
+            "min_rows": GATE_MIN_ROWS,
+            "min_workers": GATE_MIN_WORKERS,
+            "min_speedup": MIN_SPEEDUP,
+            "enforced": gate_enforced,
+            "reason": (
+                "enforced: enough cores for parallel speedup"
+                if gate_enforced
+                else f"skipped: cpu_count={cpu_count} < {GATE_MIN_WORKERS}; "
+                "process-vs-thread speedup is not meaningful without "
+                "parallel hardware (numbers recorded are honest "
+                "single-core measurements)"
+            ),
+        },
+        "sweep": sweep,
+        "columnar_sql": columnar,
+    }
+    output = os.path.abspath(OUTPUT)
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    table_rows = [
+        [
+            e["workload"],
+            e["rows"],
+            e["workers"],
+            f"{e['threads_seconds']:.4f}",
+            f"{e['processes_seconds']:.4f}",
+            f"{e['process_speedup_vs_threads']:.2f}x",
+            e["max_abs_diff"],
+        ]
+        for e in sweep
+    ]
+    report = format_table(
+        ["workload", "rows", "workers", "threads (s)", "processes (s)",
+         "speedup", "max_abs_diff"],
+        table_rows,
+    )
+    report += (
+        f"\n\ncolumnar SQL (tpch6 @ {SQL_SCALE} rows): "
+        f"scanned={columnar['rows_scanned']:.0f} "
+        f"boxed={columnar['rows_boxed']:.0f} "
+        f"({columnar['boxing_reduction']:.0%} fewer rows boxed), "
+        f"identical={columnar['identical']}"
+    )
+    report += f"\n(JSON written to {output})"
+    emit_report("bench_backend", report)
+
+    # Equivalence is non-negotiable at any scale, on any machine.
+    for entry in sweep:
+        assert entry["max_abs_diff"] == 0.0, entry
+        assert entry["process_fallbacks"] == 0, entry
+    assert columnar["identical"], columnar
+    # The columnar path must show a measurable per-row boxing reduction.
+    assert columnar["rows_scanned"] > 0
+    assert columnar["rows_boxed"] < columnar["rows_scanned"], columnar
+    # Speed: only gated where parallel hardware makes it meaningful.
+    if gate_enforced:
+        gated = [
+            e
+            for e in sweep
+            if e["workload"] == GATE_WORKLOAD
+            and e["rows"] >= GATE_MIN_ROWS
+            and e["workers"] >= GATE_MIN_WORKERS
+        ]
+        assert gated, "sweep missing the gated point; widen ROWS/WORKERS"
+        for entry in gated:
+            assert entry["process_speedup_vs_threads"] >= MIN_SPEEDUP, entry

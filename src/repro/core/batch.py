@@ -30,6 +30,32 @@ import numpy as np
 from repro.core.query import Row
 
 
+def column_values(
+    records: Sequence[Row], name: str, dtype: Any = float
+) -> np.ndarray:
+    """One column of a record batch as a numpy array.
+
+    Handles both layouts a ``map_batch`` may receive: a
+    :class:`~repro.engine.columnar.ColumnarPartition` hands back its
+    column buffer directly (zero-copy for numeric columns — no per-row
+    dict is ever built), while a plain row sequence gathers the field
+    from each dict.  ``dtype=None`` keeps native values as an object
+    array (dates, strings, ``None``-bearing columns).
+    """
+    column = getattr(records, "numpy_column", None)
+    if column is not None:
+        values = column(name)
+        if dtype is not None and values.dtype != np.dtype(dtype):
+            values = values.astype(dtype)
+        return values
+    if dtype is None:
+        out = np.empty(len(records), dtype=object)
+        for i, record in enumerate(records):
+            out[i] = record[name]
+        return out
+    return np.asarray([record[name] for record in records], dtype=dtype)
+
+
 def leave_one_out(stacked: np.ndarray) -> np.ndarray:
     """All-but-one sequential sums of ``stacked`` along axis 0.
 

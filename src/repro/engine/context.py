@@ -40,8 +40,9 @@ class EngineContext:
         self.scheduler = TaskScheduler(
             self.metrics,
             max_task_retries=self.config.max_task_retries,
-            use_threads=self.config.use_threads,
+            backend=self.config.effective_backend,
             max_workers=self.config.max_workers,
+            process_start_method=self.config.process_start_method,
         )
         self.shuffle_manager = ShuffleManager(self)
         #: span tracer shared with the scheduler and shuffle manager
@@ -66,6 +67,23 @@ class EngineContext:
         """Distribute an in-memory collection into an RDD."""
         return ParallelCollectionRDD(
             self, list(data), num_partitions or self.config.default_parallelism
+        )
+
+    def parallelize_columnar(
+        self, rows: Iterable, num_partitions: Optional[int] = None
+    ) -> RDD:
+        """Distribute dict rows as columnar partition blocks.
+
+        The returned RDD iterates dict rows like :meth:`parallelize`
+        (boxing lazily per partition), but stores data column-major —
+        ``map_partitions`` functions and batch kernels that understand
+        :class:`~repro.engine.columnar.ColumnarPartition` skip per-row
+        boxing, and the process backend ships whole column buffers.
+        """
+        from repro.engine.rdd import ColumnarCollectionRDD
+
+        return ColumnarCollectionRDD.from_rows(
+            self, list(rows), num_partitions or self.config.default_parallelism
         )
 
     def empty_rdd(self) -> RDD:
@@ -163,16 +181,20 @@ class EngineContext:
     def stop(self) -> None:
         """Release engine resources (idempotent).
 
-        Shuts down the scheduler's persistent worker pool and drops
-        stored shuffle outputs.  The context remains usable: a later
-        job lazily recreates the pool, mirroring how ``SparkContext``
-        users call ``stop()`` when an application finishes.
+        Shuts down the scheduler's persistent worker pools and drops
+        stored shuffle outputs *and* cached partition blocks — a
+        stopped context must not keep partition data alive between
+        experiments.  The context remains usable: a later job lazily
+        recreates the pools and repopulates caches from lineage,
+        mirroring how ``SparkContext`` users call ``stop()`` when an
+        application finishes.
         """
         if self.obs_server is not None:
             self.obs_server.stop()
             self.obs_server = None
         self.scheduler.shutdown()
         self.shuffle_manager.clear()
+        self.block_store.clear()
 
     def __enter__(self) -> "EngineContext":
         return self

@@ -173,12 +173,22 @@ class MetricsRegistry:
     BROADCASTS = "broadcasts"
     BROADCAST_RECORDS = "broadcast_records"
     NETWORK_COST = "simulated_network_cost"
+    #: process-backend jobs that fell back to the thread/inline path
+    #: (unpicklable closure, shuffle lineage, uncached persisted parent).
+    PROCESS_FALLBACKS = "process_fallbacks"
+    #: process pools respawned after a worker died (BrokenProcessPool).
+    WORKER_RESPAWNS = "worker_respawns"
 
     #: Counter names used by the SQL layer (plan cache + join planning).
     SQL_PLAN_CACHE_HITS = "sql.plan_cache.hits"
     SQL_PLAN_CACHE_MISSES = "sql.plan_cache.misses"
     SQL_JOIN_BROADCAST = "sql.join.broadcast"
     SQL_JOIN_SHUFFLE = "sql.join.shuffle"
+    #: rows entering a columnar fused stage vs rows actually boxed into
+    #: dicts at its row-oriented boundary — their ratio is the per-row
+    #: boxing reduction the vectorized filters bought.
+    SQL_COLUMNAR_ROWS_SCANNED = "sql.columnar.rows_scanned"
+    SQL_COLUMNAR_ROWS_BOXED = "sql.columnar.rows_boxed"
 
     #: Histogram names used by the engine and the UPA pipeline.
     TASK_SECONDS = "task_seconds"

@@ -1,0 +1,122 @@
+"""Process-pool worker protocol for the ``processes`` executor backend.
+
+A process worker cannot share the driver's object graph, so a task must
+be *self-contained*: everything it needs crosses the boundary as one
+pickle.  The unit shipped is a :class:`ProcessTask` —
+
+* ``base``: the partition's source records (a list slice from a
+  ``ParallelCollectionRDD``, a cached block, or a
+  :class:`~repro.engine.columnar.ColumnarPartition`, which pickles by
+  column buffer rather than row-by-row);
+* ``ops``: the narrow operator chain above the source, as
+  ``(split, f)`` pairs in application order — the same
+  ``f(split, iterator)`` callables ``MapPartitionsRDD`` holds;
+* ``func``: the job function the scheduler would apply to the final
+  partition iterator.
+
+``RDD._process_plan`` extracts ``(base, ops)`` from a lineage.  Plans
+exist only for narrow lineages over in-memory data; shuffles, cache
+misses on persisted RDDs, and coalesced partitions raise
+:class:`ProcessUnsupported`, and the scheduler transparently falls back
+to the thread/inline path (counted by the ``process_fallbacks``
+metric).  Unpicklable closures are caught the same way: the driver
+pickles the task itself before submitting, so a ``pickle`` failure is a
+fallback, never a job error.
+
+Workers are marked via a pool initializer (:func:`worker_initializer`):
+any :class:`~repro.engine.context.EngineContext` *created inside a
+worker* detects :func:`in_worker` and runs its jobs inline — the
+process-backend restatement of the "nested jobs run inline" rule that
+keeps a worker from trying to fan out into a pool it is itself part of.
+The initializer also replays the driver's ``sys.path`` so ``spawn``
+workers (which do not inherit the parent's interpreter state) can
+import the repro package exactly as the driver does.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, List, Sequence, Tuple
+
+
+class ProcessUnsupported(Exception):
+    """This lineage/job cannot be shipped to a process worker."""
+
+
+#: True in a pool worker process (set by :func:`worker_initializer`);
+#: always False on the driver.
+_IN_WORKER = False
+
+
+def in_worker() -> bool:
+    """Is the current process a pool worker?"""
+    return _IN_WORKER
+
+
+def worker_initializer(sys_path: Sequence[str]) -> None:
+    """Pool initializer: mark the worker and replay the driver's path."""
+    global _IN_WORKER
+    _IN_WORKER = True
+    import sys
+
+    for entry in sys_path:
+        if entry not in sys.path:
+            sys.path.append(entry)
+
+
+@dataclass
+class ProcessTask:
+    """One partition's work, self-contained and picklable."""
+
+    stage_id: int
+    split: int
+    base: Any  # Sequence of records (list or ColumnarPartition)
+    ops: Tuple[Tuple[int, Callable[[int, Iterator], Any]], ...]
+    func: Callable[[Iterator], Any]
+
+    def run(self) -> Any:
+        """Replay the operator chain over the base records, apply func."""
+        it: Iterator = iter(self.base)
+        for split, f in self.ops:
+            it = iter(f(split, it))
+        return self.func(it)
+
+
+def build_process_task(rdd, func: Callable[[Iterator], Any],
+                       stage_id: int, split: int) -> ProcessTask:
+    """Extract a self-contained task for one partition of ``rdd``.
+
+    Raises:
+        ProcessUnsupported: when the lineage has no process plan
+            (shuffle input, uncached persisted parent, coalesce, ...).
+    """
+    base, ops = rdd._process_plan(split)
+    return ProcessTask(stage_id, split, base, tuple(ops), func)
+
+
+def dumps_task(task: ProcessTask) -> bytes:
+    """Pickle a task, translating pickle failures to fallbacks.
+
+    Pickling on the driver (rather than letting the executor's feeder
+    thread do it) turns "this closure can't cross a process boundary"
+    into a synchronous :class:`ProcessUnsupported` the scheduler can
+    catch and fall back on, instead of an asynchronous future error.
+    """
+    try:
+        return pickle.dumps(task, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise ProcessUnsupported(f"task does not pickle: {exc!r}") from exc
+
+
+def run_payload(payload: bytes) -> Tuple[float, Any]:
+    """Worker entry point: unpickle, run, return (elapsed_seconds, result).
+
+    The elapsed time is measured *inside* the worker so the driver's
+    ``task_seconds`` histogram reflects compute, not queueing or IPC.
+    """
+    task: ProcessTask = pickle.loads(payload)
+    started = time.perf_counter()
+    result = task.run()
+    return (time.perf_counter() - started, result)

@@ -1,36 +1,66 @@
 """Task scheduler: runs per-partition tasks with retries from lineage.
 
 The scheduler is intentionally simple — a job is a function applied to
-each partition's iterator — but it implements the two behaviours the
+each partition's iterator — but it implements the behaviours the
 reproduction depends on:
 
-* **retry from lineage**: a failed attempt (real exception from the
-  fault injector) is retried by recomputing the partition from scratch,
-  which is only correct because RDD computation is deterministic and
-  side-effect free;
-* **optional thread pool** so concurrency bugs (ordering assumptions,
-  shared state) surface in tests.
+* **retry from lineage**: a failed attempt (injected fault, or a worker
+  process dying mid-task) is retried by recomputing the partition from
+  scratch, which is only correct because RDD computation is
+  deterministic and side-effect free;
+* **pluggable executor backends** (``EngineConfig.backend``):
 
-The thread pool is **persistent**: one executor per scheduler, created
-lazily on the first threaded job and reused for every job after it.
-Spawning a pool per job costs thread creation/teardown on every engine
-round-trip — measurable when a session issues thousands of small jobs.
-``EngineContext.stop()`` shuts the pool down; a later job transparently
-recreates it.
+  - ``inline`` — tasks run sequentially on the calling thread;
+  - ``threads`` — a persistent thread pool, so concurrency bugs
+    (ordering assumptions, shared state) surface in tests;
+  - ``processes`` — a persistent ``ProcessPoolExecutor``.  Each task
+    ships as a self-contained pickle (see
+    :mod:`repro.engine.procpool`): the partition's base records plus
+    its narrow operator chain.  Jobs whose lineage or functions cannot
+    cross a process boundary **fall back transparently** to the
+    thread/inline path, counted by the ``process_fallbacks`` metric.
+    A dead worker breaks the whole pool (CPython's
+    ``BrokenProcessPool``); the scheduler respawns the pool, counts a
+    ``worker_respawns``, and re-runs every unfinished partition from
+    lineage — the process-backend expression of retry-from-lineage.
+
+Both pools are **persistent**: created lazily on first use and reused
+for every job after, because spawning a pool per job costs
+thread/process creation on every engine round-trip — measurable when a
+session issues thousands of small jobs, ruinous for processes.
+``EngineContext.stop()`` shuts them down; a later job transparently
+recreates them.
+
+Nested jobs always run inline, whatever the backend: on the driver a
+task-thread running a job (``self._local.in_task``) must not re-enter
+the shared pool (deadlock once outer tasks occupy every worker), and in
+a process worker (:func:`repro.engine.procpool.in_worker`) any engine
+created inside the worker must not fan out into pools of its own.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import sys
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterable, Iterator, List, Optional, Sequence, TypeVar
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, TypeVar
 
 from repro.common.errors import TaskFailedError
 from repro.common.timing import Timer
 from repro.engine.events import JobEvent, JobListener
 from repro.engine.fault import FaultInjector, InjectedFault
 from repro.engine.metrics import MetricsRegistry
+from repro.engine.procpool import (
+    ProcessUnsupported,
+    build_process_task,
+    dumps_task,
+    in_worker,
+    run_payload,
+    worker_initializer,
+)
 from repro.obs.tracing import NULL_SPAN, NULL_TRACER, Tracer, task_contexts
 
 T = TypeVar("T")
@@ -44,13 +74,18 @@ class TaskScheduler:
         self,
         metrics: MetricsRegistry,
         max_task_retries: int,
-        use_threads: bool = False,
+        backend: str = "inline",
         max_workers: int = 4,
+        process_start_method: Optional[str] = None,
+        use_threads: bool = False,
     ):
         self._metrics = metrics
         self._max_retries = max_task_retries
-        self._use_threads = use_threads
+        if backend == "inline" and use_threads:
+            backend = "threads"  # legacy spelling
+        self._backend = backend
         self._max_workers = max_workers
+        self._start_method = process_start_method
         self.fault_injector: Optional[FaultInjector] = None
         self.job_listener: Optional[JobListener] = None
         #: span tracer (NULL_TRACER = disabled, the zero-cost default);
@@ -58,6 +93,7 @@ class TaskScheduler:
         self.tracer: Tracer = NULL_TRACER
         self._stage_ids = iter(range(1, 1 << 62))
         self._pool: Optional[ThreadPoolExecutor] = None
+        self._proc_pool: Optional[ProcessPoolExecutor] = None
         self._pool_lock = threading.Lock()
         # True while the current thread is executing a task.  Nested
         # jobs (e.g. a shuffle materializing its parent from inside a
@@ -65,8 +101,13 @@ class TaskScheduler:
         # pool could deadlock once outer tasks occupy every worker.
         self._local = threading.local()
 
+    @property
+    def backend(self) -> str:
+        """The configured executor backend (after legacy resolution)."""
+        return self._backend
+
     def _executor(self) -> ThreadPoolExecutor:
-        """The persistent pool, created lazily on first threaded job."""
+        """The persistent thread pool, created lazily on first use."""
         with self._pool_lock:
             if self._pool is None:
                 self._pool = ThreadPoolExecutor(
@@ -75,16 +116,41 @@ class TaskScheduler:
                 )
             return self._pool
 
-    def shutdown(self) -> None:
-        """Shut the persistent pool down (idempotent).
+    def _process_executor(self) -> ProcessPoolExecutor:
+        """The persistent process pool, created lazily on first use."""
+        with self._pool_lock:
+            if self._proc_pool is None:
+                mp_context = multiprocessing.get_context(self._start_method)
+                self._proc_pool = ProcessPoolExecutor(
+                    max_workers=self._max_workers,
+                    mp_context=mp_context,
+                    # mark workers (nested engines run inline there) and
+                    # replay sys.path so spawn workers can import repro.
+                    initializer=worker_initializer,
+                    initargs=(list(sys.path),),
+                )
+            return self._proc_pool
 
-        Jobs submitted afterwards lazily recreate the pool, so a
-        stopped scheduler degrades gracefully instead of erroring.
+    def _respawn_process_pool(self) -> None:
+        """Discard a (typically broken) process pool; next use respawns."""
+        with self._pool_lock:
+            pool, self._proc_pool = self._proc_pool, None
+        if pool is not None:
+            pool.shutdown(wait=False)
+
+    def shutdown(self) -> None:
+        """Shut the persistent pools down (idempotent).
+
+        Jobs submitted afterwards lazily recreate them, so a stopped
+        scheduler degrades gracefully instead of erroring.
         """
         with self._pool_lock:
             pool, self._pool = self._pool, None
+            proc_pool, self._proc_pool = self._proc_pool, None
         if pool is not None:
             pool.shutdown(wait=True)
+        if proc_pool is not None:
+            proc_pool.shutdown(wait=True)
 
     def run_job(
         self,
@@ -106,10 +172,31 @@ class TaskScheduler:
         attempts_before = self._metrics.get(MetricsRegistry.TASKS) + \
             self._metrics.get(MetricsRegistry.TASK_RETRIES)
 
+        in_task = getattr(self._local, "in_task", False)
+        # Resolve the execution mode for THIS job before opening the
+        # span, so `engine.backend` reflects what actually ran (a
+        # process job that falls back to threads is labelled threads).
+        mode = self._backend
+        if in_task or in_worker() or len(partitions) <= 1:
+            mode = "inline"
+        payloads: Optional[Dict[int, bytes]] = None
+        if mode == "processes":
+            try:
+                payloads = {
+                    split: dumps_task(
+                        build_process_task(rdd, func, stage_id, split)
+                    )
+                    for split in partitions
+                }
+            except ProcessUnsupported:
+                # Lineage or closure can't cross the process boundary;
+                # run the job on the thread path instead.
+                self._metrics.incr(MetricsRegistry.PROCESS_FALLBACKS)
+                mode = "threads" if self._max_workers > 1 else "inline"
+
         def run_one(split: int) -> U:
             return self._run_task(rdd, func, stage_id, split)
 
-        in_task = getattr(self._local, "in_task", False)
         tracer = self.tracer
         job_span = (
             tracer.span(
@@ -118,12 +205,17 @@ class TaskScheduler:
                 rdd_id=rdd.rdd_id,
                 rdd_type=type(rdd).__name__,
                 partitions=len(partitions),
+                backend=mode,
             )
             if tracer.enabled
             else NULL_SPAN
         )
         with job_span, Timer() as timer:
-            if self._use_threads and len(partitions) > 1 and not in_task:
+            if mode == "processes":
+                assert payloads is not None
+                by_split = self._run_process_job(stage_id, partitions, payloads)
+                results = [by_split[split] for split in partitions]
+            elif mode == "threads":
                 if tracer.enabled:
                     # Pool threads do not inherit the submitter's
                     # contextvars; run each task in a copy of this
@@ -184,3 +276,89 @@ class TaskScheduler:
                         ) from fault
         finally:
             self._local.in_task = previously_in_task
+
+    def _run_process_job(
+        self,
+        stage_id: int,
+        partitions: Sequence[int],
+        payloads: Dict[int, bytes],
+    ) -> Dict[int, U]:
+        """Run pre-pickled tasks on the process pool, surviving worker death.
+
+        Fault injection stays on the driver (the injector holds locks
+        and counters that must not be duplicated per process): each
+        attempt consults it *before* submission, so injected faults
+        retry with the same accounting as the inline path.  A worker
+        dying breaks the whole pool — every in-flight future fails with
+        ``BrokenProcessPool`` — so the pool is respawned and every
+        unfinished partition re-submitted from its (deterministic)
+        lineage.  The partition whose future surfaced the break is the
+        one charged a retry; the rest are innocent bystanders and keep
+        their attempt budget.
+        """
+        results: Dict[int, U] = {}
+        attempts = {split: 0 for split in partitions}
+        pending = list(partitions)
+        while pending:
+            submitted: List[int] = []
+            for split in pending:
+                # Driver-side fault injection, mirroring _run_task.
+                while True:
+                    attempts[split] += 1
+                    try:
+                        if self.fault_injector is not None:
+                            self.fault_injector.maybe_fail(
+                                stage_id, split, attempts[split]
+                            )
+                        break
+                    except InjectedFault as fault:
+                        self._metrics.incr(MetricsRegistry.TASK_RETRIES)
+                        if attempts[split] > self._max_retries:
+                            raise TaskFailedError(
+                                stage_id, split, attempts[split], fault
+                            ) from fault
+                submitted.append(split)
+            pool = self._process_executor()
+            try:
+                futures = {
+                    split: pool.submit(run_payload, payloads[split])
+                    for split in submitted
+                }
+            except BrokenProcessPool:
+                # The pool broke between jobs (submit fails fast); no
+                # task ran, so nobody is charged a retry — respawn and
+                # refund this round's attempts.
+                self._metrics.incr(MetricsRegistry.WORKER_RESPAWNS)
+                self._respawn_process_pool()
+                for split in submitted:
+                    attempts[split] -= 1
+                continue
+            broken: Optional[BaseException] = None
+            blamed: Optional[int] = None
+            for split in submitted:
+                try:
+                    elapsed, result = futures[split].result()
+                except BrokenProcessPool as exc:
+                    broken, blamed = exc, split
+                    break
+                results[split] = result
+                self._metrics.incr(MetricsRegistry.TASKS)
+                self._metrics.observe(MetricsRegistry.TASK_SECONDS, elapsed)
+            pending = [s for s in partitions if s not in results]
+            if broken is None:
+                continue
+            self._metrics.incr(MetricsRegistry.WORKER_RESPAWNS)
+            self._metrics.incr(MetricsRegistry.TASK_RETRIES)
+            self._respawn_process_pool()
+            assert blamed is not None
+            if attempts[blamed] > self._max_retries:
+                raise TaskFailedError(
+                    stage_id, blamed, attempts[blamed], broken
+                ) from broken
+            # Unfinished bystanders were submitted but not at fault:
+            # refund the attempt so repeated worker deaths on one
+            # partition cannot exhaust another partition's retries.
+            for split in pending:
+                if split != blamed and attempts[split] > 0:
+                    attempts[split] -= 1
+        return results

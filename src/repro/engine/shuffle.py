@@ -116,22 +116,7 @@ class ShuffleManager:
         aggregator: Optional[Aggregator],
     ) -> List[List[Tuple[Any, Any]]]:
         num_out = partitioner.num_partitions
-
-        def map_task(it: Iterator[Tuple[Any, Any]]):
-            if aggregator is None:
-                local: List[List[Tuple[Any, Any]]] = [[] for _ in range(num_out)]
-                for key, value in it:
-                    local[partitioner.partition(key)].append((key, value))
-                return local
-            combined: List[Dict[Any, Any]] = [{} for _ in range(num_out)]
-            for key, value in it:
-                bucket = combined[partitioner.partition(key)]
-                if key in bucket:
-                    bucket[key] = aggregator.merge_value(bucket[key], value)
-                else:
-                    bucket[key] = aggregator.create_combiner(value)
-            return [list(bucket.items()) for bucket in combined]
-
+        map_task = _ShuffleMapTask(partitioner, aggregator, num_out)
         per_map = self._context.scheduler.run_job(parent, map_task)
         merged: List[List[Tuple[Any, Any]]] = [[] for _ in range(num_out)]
         for task_buckets in per_map:
@@ -210,6 +195,47 @@ class CoGroupedRDD(RDD):
                     grouped[key] = slot
                 slot[idx].extend(values)
         return ((key, tuple(slots)) for key, slots in grouped.items())
+
+
+class _ShuffleMapTask:
+    """Map-side shuffle task: bucket (and optionally combine) pairs.
+
+    A plain class rather than a closure so the task is picklable when
+    the partitioner and aggregator functions are — the process backend
+    can then run map-side bucketing in workers; lambda-built
+    aggregators (most ``reduce_by_key`` call sites) still fall back to
+    the thread/inline path via the scheduler's pickle check.
+    """
+
+    __slots__ = ("partitioner", "aggregator", "num_out")
+
+    def __init__(
+        self,
+        partitioner: Partitioner,
+        aggregator: Optional[Aggregator],
+        num_out: int,
+    ):
+        self.partitioner = partitioner
+        self.aggregator = aggregator
+        self.num_out = num_out
+
+    def __call__(self, it: Iterator[Tuple[Any, Any]]):
+        partitioner, aggregator = self.partitioner, self.aggregator
+        if aggregator is None:
+            local: List[List[Tuple[Any, Any]]] = [
+                [] for _ in range(self.num_out)
+            ]
+            for key, value in it:
+                local[partitioner.partition(key)].append((key, value))
+            return local
+        combined: List[Dict[Any, Any]] = [{} for _ in range(self.num_out)]
+        for key, value in it:
+            bucket = combined[partitioner.partition(key)]
+            if key in bucket:
+                bucket[key] = aggregator.merge_value(bucket[key], value)
+            else:
+                bucket[key] = aggregator.create_combiner(value)
+        return [list(bucket.items()) for bucket in combined]
 
 
 def _append_value(acc: List[Any], value: Any) -> List[Any]:

@@ -66,6 +66,17 @@ class BlockStore:
         with self._lock:
             return self._blocks.pop(block_id, None) is not None
 
+    def clear(self) -> int:
+        """Drop every block (``EngineContext.stop``); returns count dropped.
+
+        Not counted as evictions: eviction metrics measure capacity
+        pressure, and a lifecycle clear is not capacity pressure.
+        """
+        with self._lock:
+            dropped = len(self._blocks)
+            self._blocks.clear()
+        return dropped
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._blocks)

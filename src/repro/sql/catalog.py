@@ -10,12 +10,20 @@ from repro.sql.types import Schema
 
 
 class Table:
-    """A named table: schema + rows, materialized as an RDD on demand."""
+    """A named table: schema + rows, materialized as an RDD on demand.
 
-    def __init__(self, name: str, schema: Schema, rows: List[Dict[str, Any]]):
+    With ``columnar=True`` the table materializes as a
+    :class:`~repro.engine.rdd.ColumnarCollectionRDD` — per-column
+    buffers instead of row dicts — and the executor's fused stages can
+    run vectorized filters over its blocks before any row is boxed.
+    """
+
+    def __init__(self, name: str, schema: Schema, rows: List[Dict[str, Any]],
+                 columnar: bool = False):
         self.name = name
         self.schema = schema
         self.rows = rows
+        self.columnar = columnar
         self._rdd: Optional[RDD] = None
 
     def invalidate(self) -> None:
@@ -37,12 +45,13 @@ class Catalog:
         name: str,
         rows: Sequence[Dict[str, Any]],
         schema: Optional[Schema] = None,
+        columnar: bool = False,
     ) -> Table:
         """Register (or replace) a table from in-memory rows."""
         rows = list(rows)
         if schema is None:
             schema = Schema.from_rows(rows)
-        table = Table(name, schema, rows)
+        table = Table(name, schema, rows, columnar=columnar)
         self._tables[name] = table
         self.version += 1
         return table
@@ -66,8 +75,30 @@ class Catalog:
         return sorted(self._tables)
 
     def rdd(self, name: str) -> RDD:
-        """RDD of a table's rows (created lazily, reused afterwards)."""
+        """RDD of a table's rows (created lazily, reused afterwards).
+
+        Columnar tables still iterate dict rows here — the columnar
+        block RDD is a view of the same data (see :meth:`block_rdd`).
+        """
         table = self.table(name)
         if table._rdd is None:
-            table._rdd = self._engine.parallelize(table.rows)
+            if table.columnar:
+                table._rdd = self._engine.parallelize_columnar(table.rows)
+            else:
+                table._rdd = self._engine.parallelize(table.rows)
         return table._rdd
+
+    def is_columnar(self, name: str) -> bool:
+        return self.table(name).columnar
+
+    def block_rdd(self, name: str) -> RDD:
+        """RDD whose partitions yield raw ColumnarPartition blocks.
+
+        Only meaningful for tables registered ``columnar=True``.
+        """
+        table = self.table(name)
+        if not table.columnar:
+            raise AnalysisError(
+                f"table {name!r} is not registered columnar"
+            )
+        return self.rdd(name).blocks_rdd()

@@ -69,9 +69,17 @@ class SQLSession:
         name: str,
         rows: Sequence[Dict[str, Any]],
         schema: Optional[Schema] = None,
+        columnar: bool = False,
     ) -> DataFrame:
-        """Register in-memory rows as a named table."""
-        self.catalog.register(name, rows, schema)
+        """Register in-memory rows as a named table.
+
+        ``columnar=True`` stores the table as per-column buffers; the
+        compiled executor then runs supported filters vectorized over
+        whole blocks, boxing only the surviving rows into dicts.
+        Results are identical either way — it is purely a layout and
+        execution-strategy choice.
+        """
+        self.catalog.register(name, rows, schema, columnar=columnar)
         return self.table(name)
 
     def table(self, name: str) -> DataFrame:

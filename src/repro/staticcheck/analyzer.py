@@ -23,7 +23,13 @@ from repro.staticcheck.diagnostics import (
     render_json,
     render_text,
 )
-from repro.staticcheck import budgetflow, purity, stability, taint
+from repro.staticcheck import (
+    budgetflow,
+    pickleability,
+    purity,
+    stability,
+    taint,
+)
 from repro.staticcheck.sarif import render_sarif
 from repro.staticcheck.suppress import (
     apply_suppressions,
@@ -94,8 +100,10 @@ def lint_query(
     tables: Optional[dict] = None,
     include_plan: bool = True,
 ) -> List[Diagnostic]:
-    """Purity + taint passes (always) + plan pass (when available)."""
+    """Purity + pickleability + taint passes (always) + plan pass
+    (when available)."""
     diagnostics = purity.check_query(query)
+    diagnostics.extend(pickleability.check_query(query))
     diagnostics.extend(taint.check_query_methods(query))
     if include_plan and hasattr(query, "dataframe"):
         try:

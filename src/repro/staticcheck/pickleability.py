@@ -1,0 +1,176 @@
+"""Pickleability pass: will this query's monoid ship to process workers?
+
+The process executor backend (``EngineConfig(backend="processes")``)
+serializes every task with **stdlib pickle** — deliberately, so the
+engine has no dependency on cloudpickle.  That makes pickleability a
+static property of how a query is written:
+
+* lambdas and nested ``def``s handed to RDD operators
+  (``map``/``filter``/``map_partitions``/...) never pickle;
+* a method built as a closure over unpicklable values (locks, open
+  handles) never pickles;
+* a query instance whose attributes hold runtime machinery (threads,
+  sockets, tracers, engine contexts) never pickles, and the monoid
+  methods are bound to that instance.
+
+None of these are *correctness* bugs — the scheduler detects the pickle
+failure synchronously and falls back to thread/inline execution, so
+results are identical — but the fallback silently forfeits the
+multi-core speedup, which is why UPA014 is a warning rather than an
+error.  The dynamic parts (attribute/closure-cell pickling) only run
+when the analyzer is given an instance; a class lints structurally.
+"""
+
+from __future__ import annotations
+
+import ast
+import pickle
+from typing import Any, Iterable, List
+
+from repro.staticcheck.diagnostics import Diagnostic, make_diagnostic
+from repro.staticcheck.purity import (
+    BATCH_PARTNERS,
+    MONOID_METHODS,
+    _MethodSource,
+    _resolve_method,
+    _unwrap_callable,
+)
+
+PASS = "pickleability"
+
+#: RDD operators that ship their callable argument inside the task.
+_SHIPPING_METHODS = {
+    "map", "filter", "flat_map", "map_partitions", "key_by", "glom",
+    "foreach", "reduce", "fold", "aggregate", "reduce_by_key",
+    "combine_by_key", "group_by_key", "sort_by", "top",
+}
+
+#: every method the pass inspects (scalar monoid + batched kernels).
+_INSPECTED = tuple(MONOID_METHODS) + tuple(BATCH_PARTNERS)
+
+
+def _truncate(text: str, limit: int = 120) -> str:
+    return text if len(text) <= limit else text[: limit - 3] + "..."
+
+
+def _check_shipped_closures(src: _MethodSource) -> Iterable[Diagnostic]:
+    """Lambdas / nested defs passed into RDD shipping operators."""
+    nested = {
+        n.name
+        for n in ast.walk(src.node)
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        and n is not src.node
+    }
+    for node in ast.walk(src.node):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _SHIPPING_METHODS
+        ):
+            continue
+        operands = list(node.args) + [kw.value for kw in node.keywords]
+        for arg in operands:
+            if isinstance(arg, ast.Lambda):
+                offender = "a lambda"
+            elif isinstance(arg, ast.Name) and arg.id in nested:
+                offender = f"the nested function {arg.id}()"
+            else:
+                continue
+            yield make_diagnostic(
+                "UPA014",
+                f"{src.where()} ships {offender} into "
+                f".{node.func.attr}(); stdlib pickle cannot serialize "
+                "lambdas or nested closures, so the process backend "
+                "falls back to thread/inline execution for every job "
+                "running this operator",
+                file=src.file,
+                line=src.line_of(arg),
+                obj=src.owner_name,
+                hint="hoist the function to module level (or a small "
+                "__slots__ callable class) so process workers can "
+                "unpickle the task",
+                pass_name=PASS,
+            )
+
+
+def _check_closure_cells(
+    func: Any, owner: str, method_name: str, file: str, line: int
+) -> Iterable[Diagnostic]:
+    """Free variables the method closed over that do not pickle."""
+    raw = _unwrap_callable(func)
+    closure = getattr(raw, "__closure__", None)
+    code = getattr(raw, "__code__", None)
+    if not closure or code is None:
+        return
+    for name, cell in zip(code.co_freevars, closure):
+        try:
+            value = cell.cell_contents
+        except ValueError:  # empty cell
+            continue
+        try:
+            pickle.dumps(value)
+        except Exception as exc:
+            yield make_diagnostic(
+                "UPA014",
+                f"{owner}.{method_name} closes over {name!r}, an "
+                f"unpicklable {type(value).__name__} "
+                f"({_truncate(str(exc))}); the process backend cannot "
+                "ship this method to workers and will fall back",
+                file=file,
+                line=line,
+                obj=owner,
+                hint="pass the value through build_aux()/the monoid "
+                "element, or restructure the method so it is a plain "
+                "module-level function",
+                pass_name=PASS,
+            )
+
+
+def _check_instance_attrs(query: Any, owner: str) -> Iterable[Diagnostic]:
+    """Instance attributes that do not pickle (bound methods ship self)."""
+    attrs = getattr(query, "__dict__", None)
+    if not isinstance(attrs, dict):
+        return
+    for name in sorted(attrs):
+        value = attrs[name]
+        try:
+            pickle.dumps(value)
+        except Exception as exc:
+            yield make_diagnostic(
+                "UPA014",
+                f"{owner} instance attribute {name!r} holds an "
+                f"unpicklable {type(value).__name__} "
+                f"({_truncate(str(exc))}); monoid methods are bound to "
+                "the instance, so the process backend cannot ship any "
+                "of them to workers and will fall back",
+                obj=owner,
+                hint="keep runtime machinery (locks, sockets, engines, "
+                "tracers) out of query instances; derive it in "
+                "build_aux() or look it up inside the task",
+                pass_name=PASS,
+            )
+
+
+def check_query(query: Any) -> List[Diagnostic]:
+    """Run the pickleability pass on a query instance or class."""
+    cls = query if isinstance(query, type) else type(query)
+    owner = getattr(query, "name", "") or cls.__name__
+    diagnostics: List[Diagnostic] = []
+    for method_name in _INSPECTED:
+        func = _resolve_method(cls, method_name)
+        if func is None:
+            continue
+        try:
+            src = _MethodSource(func, owner, method_name)
+        except (OSError, TypeError, SyntaxError, IndentationError):
+            # purity already reports UPA006 for unavailable source.
+            file, line = "", 0
+        else:
+            file, line = src.file, src.start_line
+            diagnostics.extend(_check_shipped_closures(src))
+        diagnostics.extend(
+            _check_closure_cells(func, owner, method_name, file, line)
+        )
+    if not isinstance(query, type):
+        diagnostics.extend(_check_instance_attrs(query, owner))
+    return diagnostics

@@ -14,6 +14,7 @@ from typing import Any, Sequence
 
 import numpy as np
 
+from repro.core.batch import column_values
 from repro.core.query import Row, Tables
 from repro.sql.expr import col, lit
 from repro.sql.functions import sum_
@@ -65,11 +66,17 @@ class Q6(TPCHQuery):
     def map_batch(self, records: Sequence[Row], aux: Any) -> np.ndarray:
         if not records:
             return np.empty(0)
-        price = np.asarray([r["l_extendedprice"] for r in records], dtype=float)
-        discount = np.asarray([r["l_discount"] for r in records], dtype=float)
-        quantity = np.asarray([r["l_quantity"] for r in records], dtype=float)
-        in_window = np.asarray(
-            [_DATE_LO <= r["l_shipdate"] < _DATE_HI for r in records]
+        # column_values is layout-aware: over a ColumnarPartition the
+        # three numeric pulls are zero-copy buffer views, so no row
+        # dict is boxed anywhere in this kernel.
+        price = column_values(records, "l_extendedprice")
+        discount = column_values(records, "l_discount")
+        quantity = column_values(records, "l_quantity")
+        shipdate = column_values(records, "l_shipdate", dtype=None)
+        in_window = np.fromiter(
+            (_DATE_LO <= d < _DATE_HI for d in shipdate),
+            dtype=bool,
+            count=len(shipdate),
         )
         selected = (
             in_window

@@ -1,0 +1,371 @@
+"""Cross-backend equivalence and fault tolerance for the executor.
+
+The engine promises that ``EngineConfig(backend=...)`` is purely an
+execution-strategy choice: inline, thread-pool and process-pool
+execution compute identical results — including every DP release under
+fixed seeds — and the process backend survives worker death by
+respawning its pool and recomputing lost partitions from lineage.
+
+Process-pool specifics exercised here:
+
+* picklable lineages actually run in worker processes (no fallback,
+  different PIDs);
+* unpicklable closures transparently fall back (counted in
+  ``process_fallbacks``) with unchanged results;
+* a killed worker breaks the pool (``BrokenProcessPool``); the
+  scheduler respawns it, retries, and still returns correct results;
+* permanent failures surface as :class:`TaskFailedError` carrying
+  stage/partition/attempt context (never a raw pool exception);
+* the ``spawn`` start method works (workers re-import modules from a
+  replayed ``sys.path``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from concurrent.futures.process import BrokenProcessPool
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import EngineConfig
+from repro.common.errors import TaskFailedError
+from repro.core import UPAConfig, UPASession
+from repro.engine import EngineContext
+from repro.engine.fault import FaultInjector
+from repro.engine.metrics import MetricsRegistry
+from repro.mining import LifeScienceConfig, make_life_science_tables
+from repro.sql import SQLSession
+from repro.tpch import TPCHConfig, TPCHGenerator
+from repro.tpch.datagen import register_tables
+from repro.tpch.workload import all_queries
+from repro.workloads import all_workloads
+
+BACKENDS = ("inline", "threads", "processes")
+
+
+def make_ctx(backend: str, **overrides) -> EngineContext:
+    overrides.setdefault("max_workers", 2)
+    overrides.setdefault("default_parallelism", 4)
+    # CI re-runs this suite with REPRO_PROCESS_START_METHOD=spawn to
+    # cover macOS/Windows re-import semantics on Linux runners.
+    forced = os.environ.get("REPRO_PROCESS_START_METHOD")
+    if forced:
+        overrides.setdefault("process_start_method", forced)
+    return EngineContext(EngineConfig(backend=backend, **overrides))
+
+
+# Module-level functions/classes: picklable, so the process backend
+# executes them in workers instead of falling back.
+
+def _square(v):
+    return v * v
+
+
+def _is_small(v):
+    return v % 3 != 0
+
+
+def _add(a, b):
+    return a + b
+
+
+def _partition_pid(it):
+    return [os.getpid()]
+
+
+def _sum_column_x(it):
+    return [sum(r["x"] for r in it)]
+
+
+class _KillOnce:
+    """Kill the hosting worker the first time a task runs it.
+
+    The flag file lives on the shared filesystem, so after the respawn
+    the retried attempt sees it and completes normally.
+    """
+
+    def __init__(self, flag_path: str):
+        self.flag_path = flag_path
+
+    def __call__(self, it):
+        rows = list(it)
+        if not os.path.exists(self.flag_path):
+            with open(self.flag_path, "w"):
+                pass
+            os._exit(13)
+        return [v * 3 for v in rows]
+
+
+class _KillAlways:
+    """Kill the hosting worker on every attempt."""
+
+    def __call__(self, it):
+        os._exit(13)
+
+
+# ----------------------------------------------------------------------
+# Process execution semantics
+# ----------------------------------------------------------------------
+
+
+class TestProcessExecution:
+    def test_picklable_lineage_runs_in_workers(self):
+        ctx = make_ctx("processes")
+        try:
+            out = (
+                ctx.parallelize(range(40), 4)
+                .map(_square)
+                .filter(_is_small)
+                .collect()
+            )
+            assert out == [v * v for v in range(40) if _is_small(v * v)]
+            snap = ctx.metrics.snapshot()
+            assert snap.get(MetricsRegistry.PROCESS_FALLBACKS) == 0
+            assert snap.get(MetricsRegistry.TASKS) == 4
+        finally:
+            ctx.stop()
+
+    def test_tasks_run_outside_the_driver_process(self):
+        ctx = make_ctx("processes")
+        try:
+            pids = set(
+                ctx.parallelize(range(8), 4)
+                .map_partitions(_partition_pid)
+                .collect()
+            )
+            assert os.getpid() not in pids
+        finally:
+            ctx.stop()
+
+    def test_unpicklable_closure_falls_back_with_same_result(self):
+        ctx = make_ctx("processes")
+        try:
+            out = ctx.parallelize(range(20), 4).map(lambda v: v + 1).collect()
+            assert out == list(range(1, 21))
+            snap = ctx.metrics.snapshot()
+            assert snap.get(MetricsRegistry.PROCESS_FALLBACKS) >= 1
+        finally:
+            ctx.stop()
+
+    def test_columnar_partitions_ship_to_workers(self):
+        rows = [{"x": float(i), "y": i} for i in range(100)]
+        ctx = make_ctx("processes")
+        try:
+            out = (
+                ctx.parallelize_columnar(rows, 4)
+                .map_partitions(_sum_column_x)
+                .collect()
+            )
+            assert sum(out) == sum(r["x"] for r in rows)
+            assert ctx.metrics.get(MetricsRegistry.PROCESS_FALLBACKS) == 0
+        finally:
+            ctx.stop()
+
+    def test_spawn_start_method(self):
+        ctx = make_ctx("processes", process_start_method="spawn")
+        try:
+            out = ctx.parallelize(range(12), 2).map(_square).collect()
+            assert out == [v * v for v in range(12)]
+            assert ctx.metrics.get(MetricsRegistry.PROCESS_FALLBACKS) == 0
+        finally:
+            ctx.stop()
+
+    def test_stop_clears_block_store(self):
+        ctx = make_ctx("inline")
+        rdd = ctx.parallelize(range(10), 2).cache()
+        assert rdd.collect() == list(range(10))
+        assert len(ctx.block_store) > 0
+        ctx.stop()
+        assert len(ctx.block_store) == 0
+
+
+# ----------------------------------------------------------------------
+# Fault tolerance
+# ----------------------------------------------------------------------
+
+
+class TestProcessFaultTolerance:
+    def test_worker_kill_respawns_and_recomputes(self, tmp_path):
+        ctx = make_ctx("processes")
+        try:
+            kill = _KillOnce(str(tmp_path / "killed.flag"))
+            out = ctx.parallelize(range(12), 3).map_partitions(kill).collect()
+            assert out == [v * 3 for v in range(12)]
+            snap = ctx.metrics.snapshot()
+            assert snap.get(MetricsRegistry.WORKER_RESPAWNS) >= 1
+            assert snap.get(MetricsRegistry.TASK_RETRIES) >= 1
+        finally:
+            ctx.stop()
+
+    def test_persistent_failure_wraps_in_task_failed_error(self):
+        ctx = make_ctx("processes", max_task_retries=1)
+        try:
+            with pytest.raises(TaskFailedError) as err:
+                ctx.parallelize(range(4), 2).map_partitions(
+                    _KillAlways()
+                ).collect()
+            failure = err.value
+            assert failure.attempts == 2  # max_task_retries + 1
+            assert failure.partition in (0, 1)
+            assert isinstance(failure.cause, BrokenProcessPool)
+        finally:
+            ctx.stop()
+
+    def test_injected_faults_match_failure_free_run(self):
+        expected = make_ctx("inline").parallelize(range(30), 3).map(
+            _square
+        ).collect()
+        ctx = make_ctx("processes")
+        try:
+            injector = FaultInjector(
+                failure_probability=0.5, max_failures=3, seed=1
+            )
+            ctx.install_fault_injector(injector)
+            out = ctx.parallelize(range(30), 3).map(_square).collect()
+            assert out == expected
+            assert injector.failures_injected >= 1
+            assert (
+                ctx.metrics.get(MetricsRegistry.TASK_RETRIES)
+                == injector.failures_injected
+            )
+        finally:
+            ctx.stop()
+
+
+# ----------------------------------------------------------------------
+# Cross-backend equivalence: engine primitives (property-based)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def backend_ctxs():
+    ctxs = {backend: make_ctx(backend) for backend in BACKENDS}
+    yield ctxs
+    for ctx in ctxs.values():
+        ctx.stop()
+
+
+SMALL_INTS = st.lists(st.integers(-50, 50), max_size=40)
+PARTS = st.integers(1, 5)
+
+
+class TestCrossBackendProperties:
+    @given(data=SMALL_INTS, parts=PARTS)
+    @settings(max_examples=15, deadline=None)
+    def test_map_filter_collect_identical(self, backend_ctxs, data, parts):
+        results = [
+            backend_ctxs[b]
+            .parallelize(data, parts)
+            .map(_square)
+            .filter(_is_small)
+            .collect()
+            for b in BACKENDS
+        ]
+        assert results[0] == results[1] == results[2]
+
+    @given(data=SMALL_INTS, parts=PARTS)
+    @settings(max_examples=15, deadline=None)
+    def test_aggregations_identical(self, backend_ctxs, data, parts):
+        sums = {
+            b: backend_ctxs[b].parallelize(data, parts).map(_square).sum()
+            for b in BACKENDS
+        }
+        assert len(set(sums.values())) == 1
+
+    @given(
+        pairs=st.lists(
+            st.tuples(st.integers(0, 5), st.integers(-20, 20)), max_size=40
+        ),
+        parts=PARTS,
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_shuffle_results_identical(self, backend_ctxs, pairs, parts):
+        results = [
+            dict(
+                backend_ctxs[b]
+                .parallelize(pairs, parts)
+                .reduce_by_key(_add)
+                .collect()
+            )
+            for b in BACKENDS
+        ]
+        assert results[0] == results[1] == results[2]
+
+
+# ----------------------------------------------------------------------
+# Cross-backend equivalence: the nine DP workloads + TPC-H SQL
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def workload_tables():
+    return {
+        "tpch": TPCHGenerator(TPCHConfig(scale_rows=300, seed=11)).generate(),
+        "ml": make_life_science_tables(
+            LifeScienceConfig(num_records=200, dim=4, num_clusters=3, seed=11)
+        ),
+    }
+
+
+class TestCrossBackendWorkloads:
+    @pytest.mark.parametrize(
+        "workload", all_workloads(), ids=lambda w: w.name
+    )
+    def test_dp_outputs_identical(self, workload, workload_tables):
+        tables = workload_tables[
+            "ml" if workload.query_type == "ml" else "tpch"
+        ]
+        results = {}
+        for backend in BACKENDS:
+            engine = make_ctx(backend, default_parallelism=2)
+            try:
+                session = UPASession(
+                    UPAConfig(sample_size=30, seed=77), engine=engine
+                )
+                results[backend] = session.run(
+                    workload.query, tables, epsilon=0.5
+                )
+            finally:
+                engine.stop()
+        base = results["inline"]
+        for backend in ("threads", "processes"):
+            other = results[backend]
+            assert np.array_equal(
+                base.noisy_output, other.noisy_output
+            ), backend
+            assert np.array_equal(
+                base.removal_outputs, other.removal_outputs
+            ), backend
+            assert base.local_sensitivity == other.local_sensitivity
+
+    @pytest.mark.parametrize(
+        "query", all_queries(), ids=lambda q: q.name
+    )
+    def test_tpch_sql_identical_across_backends(self, query, workload_tables):
+        tables = workload_tables["tpch"]
+        collected = {}
+        for backend in BACKENDS:
+            engine = make_ctx(backend, default_parallelism=2)
+            try:
+                session = SQLSession(engine=engine)
+                register_tables(session, tables)
+                collected[backend] = query.dataframe(session).collect()
+            finally:
+                engine.stop()
+        assert collected["inline"] == collected["threads"]
+        assert collected["inline"] == collected["processes"]
+
+    @pytest.mark.parametrize(
+        "query", all_queries(), ids=lambda q: q.name
+    )
+    def test_tpch_sql_columnar_matches_row_layout(self, query, workload_tables):
+        tables = workload_tables["tpch"]
+        outputs = {}
+        for columnar in (False, True):
+            session = SQLSession()
+            register_tables(session, tables, columnar=columnar)
+            outputs[columnar] = query.dataframe(session).collect()
+        assert outputs[False] == outputs[True]
