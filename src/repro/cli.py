@@ -23,9 +23,14 @@ Observability is opt-in and documented in ``docs/observability.md``:
 ``chrome://tracing``), ``--ledger`` writes the append-only privacy
 audit ledger as JSONL, ``--events`` installs a job listener and prints
 the engine's per-job event log, ``--serve PORT`` exposes /metrics,
-/healthz, /ledger, /traces, /budget and /profile over HTTP while the
-command runs (``--serve-grace`` keeps serving after it finishes), and
-``--profile PATH`` writes collapsed stacks from the sampling profiler.
+/healthz, /ledger, /traces, /budget, /profile and /workers over HTTP
+while the command runs (``--serve-grace`` keeps serving after it
+finishes), and ``--profile PATH`` writes collapsed stacks from the
+sampling profiler.  ``run``/``run-sql``/``compare`` take ``--backend``
+and ``--max-workers`` to pick the engine's executor; with
+``--backend processes`` all of the above still works — worker-side
+spans, metrics and profiles are piggybacked back to the coordinator
+(see "Cross-process telemetry" in the same doc).
 """
 
 from __future__ import annotations
@@ -77,6 +82,20 @@ def _add_observability_args(parser: argparse.ArgumentParser,
     )
 
 
+def _add_engine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend", choices=("inline", "threads", "processes"),
+        default=None,
+        help="executor backend for engine jobs (default: inline); "
+        "processes runs partition tasks in a worker pool with "
+        "cross-process telemetry when observability is on",
+    )
+    parser.add_argument(
+        "--max-workers", metavar="N", type=int, default=4,
+        help="pool size for the threads/processes backends (default: 4)",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -96,6 +115,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--epsilon", type=float, default=0.1)
     run.add_argument("--sample-size", type=int, default=1000)
+    _add_engine_args(run)
     _add_observability_args(run)
 
     sql = sub.add_parser(
@@ -106,6 +126,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sql.add_argument("--scale", type=int, default=20_000)
     sql.add_argument("--seed", type=int, default=0)
     sql.add_argument("--epsilon", type=float, default=0.1)
+    _add_engine_args(sql)
     _add_observability_args(sql)
 
     cmp_parser = sub.add_parser(
@@ -114,6 +135,7 @@ def _build_parser() -> argparse.ArgumentParser:
     cmp_parser.add_argument("workload")
     cmp_parser.add_argument("--scale", type=int, default=20_000)
     cmp_parser.add_argument("--seed", type=int, default=0)
+    _add_engine_args(cmp_parser)
     _add_observability_args(cmp_parser, ledger=False)
 
     report = sub.add_parser(
@@ -243,6 +265,33 @@ def _setup_observability(args, **config_fields):
     return tracer, ledger
 
 
+def _make_engine(args, config):
+    """EngineContext per ``--backend``/``--max-workers``, or None.
+
+    None (no ``--backend`` flag) lets :class:`UPASession` build its
+    default inline engine, exactly as before the flag existed.  The
+    ``REPRO_PROCESS_START_METHOD`` environment variable forces the
+    multiprocessing start method (CI uses ``spawn`` to exercise the
+    non-fork telemetry path on Linux).
+    """
+    import os
+
+    backend = getattr(args, "backend", None)
+    if backend is None:
+        return None
+    from repro.common.config import EngineConfig
+    from repro.engine.context import EngineContext
+
+    return EngineContext(EngineConfig(
+        backend=backend,
+        max_workers=getattr(args, "max_workers", 4),
+        default_parallelism=config.engine_partitions,
+        process_start_method=(
+            os.environ.get("REPRO_PROCESS_START_METHOD") or None
+        ),
+    ))
+
+
 def _start_live(args, session):
     """Start --serve / --profile machinery; (server, profiler)."""
     profiler = None
@@ -250,11 +299,15 @@ def _start_live(args, session):
         from repro.obs.profiler import SamplingProfiler
 
         profiler = SamplingProfiler(hz=args.profile_hz).start()
+        # The processes backend mirrors the driver profiler in each
+        # worker (SpanContext.profile_hz) and merges the stacks back,
+        # so the scheduler needs to know the profiler exists.
+        session.engine.install_profiler(profiler)
     server = None
     if getattr(args, "serve", None) is not None:
         server = session.serve(port=args.serve, profiler=profiler)
         print(f"live monitoring on {server.url} (endpoints: /metrics "
-              "/healthz /ledger /traces /budget /profile)")
+              "/healthz /ledger /traces /budget /profile /workers)")
         sys.stdout.flush()
     elif session.ledger is not None:
         # No server, but alert rules still evaluate on every release
@@ -288,6 +341,19 @@ def _finish_live(args, session, server, profiler) -> None:
         summary = session.alert_engine.summary()
         if summary:
             print(summary)
+    # A process-backend job that cannot ship its closure falls back to
+    # threads *silently correct* but operationally surprising — the
+    # run the user asked to parallelize across processes did not.
+    fallbacks = int(session.engine.metrics.get(
+        session.engine.metrics.PROCESS_FALLBACKS
+    ))
+    if fallbacks:
+        print(
+            f"warning: {fallbacks} engine job(s) fell back from the "
+            "processes backend to threads (unpicklable task closure); "
+            "see process_fallbacks_total in /metrics",
+            file=sys.stderr,
+        )
 
 
 def _emit_observability(args, engine, tracer, ledger) -> None:
@@ -327,8 +393,10 @@ def _cmd_run(args) -> int:
         args, command="run", workload=args.workload, epsilon=args.epsilon,
         sample_size=args.sample_size, seed=args.seed, scale=args.scale,
     )
+    config = UPAConfig(sample_size=args.sample_size, seed=args.seed)
     session = UPASession(
-        UPAConfig(sample_size=args.sample_size, seed=args.seed),
+        config,
+        engine=_make_engine(args, config),
         tracer=tracer,
         ledger=ledger,
     )
@@ -378,8 +446,9 @@ def _cmd_run_sql(args) -> int:
         args, command="run-sql", sql=args.query, epsilon=args.epsilon,
         sample_size=1000, seed=args.seed, scale=args.scale,
     )
+    config = UPAConfig(sample_size=1000, seed=args.seed)
     session = UPASession(
-        UPAConfig(sample_size=1000, seed=args.seed), tracer=tracer,
+        config, engine=_make_engine(args, config), tracer=tracer,
         ledger=ledger,
     )
     _install_events(args, session.engine)
@@ -415,8 +484,9 @@ def _cmd_compare(args) -> int:
         args, command="compare", workload=args.workload, seed=args.seed,
         scale=args.scale, epsilon=0.1, sample_size=1000,
     )
+    config = UPAConfig(sample_size=1000, seed=args.seed)
     session = UPASession(
-        UPAConfig(sample_size=1000, seed=args.seed), tracer=tracer
+        config, engine=_make_engine(args, config), tracer=tracer
     )
     _install_events(args, session.engine)
     server, profiler = _start_live(args, session)

@@ -50,6 +50,25 @@ from repro.obs.report import run_header
 from repro.obs.tracing import NULL_SPAN, NULL_TRACER, Tracer, get_tracer
 
 
+class _RecordMapper:
+    """The phase-2 mapper: ``query.map_record`` with broadcast aux.
+
+    A module-level class rather than a local closure so process-backend
+    tasks can pickle it and run the parallel-map jobs in worker
+    processes (a local function can never cross the boundary, which
+    used to force every session job onto the fallback path).
+    """
+
+    __slots__ = ("query", "aux")
+
+    def __init__(self, query: "MapReduceQuery", aux):
+        self.query = query
+        self.aux = aux
+
+    def __call__(self, record):
+        return self.query.map_record(record, self.aux.value)
+
+
 @dataclass(frozen=True)
 class UPAConfig:
     """Session configuration.
@@ -435,6 +454,10 @@ class UPASession:
         ))
         # The CLI pre-fills the header at construction, so these
         # counters must be refreshed on every release, not ensure'd.
+        # The execution backend travels in the header too: an audit of
+        # a processes-backend run must be distinguishable from a
+        # threads run (the DP outputs are bitwise identical, the
+        # operational story is not).
         ledger.update_header(
             sql_plan_cache_hits=int(
                 metrics.get(MetricsRegistry.SQL_PLAN_CACHE_HITS)
@@ -442,6 +465,8 @@ class UPASession:
             sql_plan_cache_misses=int(
                 metrics.get(MetricsRegistry.SQL_PLAN_CACHE_MISSES)
             ),
+            backend=self.engine.scheduler.backend,
+            max_workers=self.engine.config.max_workers,
         )
         spent = remaining = None
         if self.accountant is not None:
@@ -643,9 +668,7 @@ class UPASession:
         with tracer.span("phase:map", query=query.name) if tracer.enabled \
                 else NULL_SPAN:
             aux_b = self.engine.broadcast(aux)
-
-            def mapper(record, _q=query, _a=aux_b):
-                return _q.map_record(record, _a.value)
+            mapper = _RecordMapper(query, aux_b)
 
             # Parallel Map + per-partition reduce of S' (ReduceByPar,
             # Alg.1 l.7).

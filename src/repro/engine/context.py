@@ -48,6 +48,9 @@ class EngineContext:
         #: span tracer shared with the scheduler and shuffle manager
         #: (disabled by default; see install_tracer).
         self.tracer = self.scheduler.tracer
+        #: sampling profiler shared with the scheduler (None unless
+        #: install_profiler ran; workers mirror it when live).
+        self.profiler = None
         #: live introspection server, if serve() started one.
         self.obs_server = None
         self._rdd_ids = itertools.count(1)
@@ -140,6 +143,19 @@ class EngineContext:
             and self.scheduler.job_listener is None
         ):
             self.install_job_listener(JobListener())
+
+    def install_profiler(self, profiler) -> None:
+        """Install (or clear, with None) a sampling profiler.
+
+        The scheduler reads it when shipping process tasks: while the
+        profiler is running, workers mirror its sampling rate and ship
+        their collapsed stacks back with each task result, merged into
+        this profiler's aggregate (see :mod:`repro.obs.crossproc`).
+        Thread/inline backends need no wiring — the profiler sees
+        their frames directly.
+        """
+        self.profiler = profiler
+        self.scheduler.profiler = profiler
 
     @property
     def job_listener(self):

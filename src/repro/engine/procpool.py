@@ -38,7 +38,7 @@ from __future__ import annotations
 import pickle
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, Iterator, List, Sequence, Tuple
+from typing import Any, Callable, Iterator, List, Optional, Sequence, Tuple
 
 
 class ProcessUnsupported(Exception):
@@ -75,6 +75,9 @@ class ProcessTask:
     base: Any  # Sequence of records (list or ColumnarPartition)
     ops: Tuple[Tuple[int, Callable[[int, Iterator], Any]], ...]
     func: Callable[[Iterator], Any]
+    #: span parentage + profiler rate when the driver is traced (see
+    #: :mod:`repro.obs.crossproc`); None keeps the untraced fast path.
+    span_context: Optional[Any] = None
 
     def run(self) -> Any:
         """Replay the operator chain over the base records, apply func."""
@@ -85,7 +88,8 @@ class ProcessTask:
 
 
 def build_process_task(rdd, func: Callable[[Iterator], Any],
-                       stage_id: int, split: int) -> ProcessTask:
+                       stage_id: int, split: int,
+                       span_context: Optional[Any] = None) -> ProcessTask:
     """Extract a self-contained task for one partition of ``rdd``.
 
     Raises:
@@ -93,7 +97,7 @@ def build_process_task(rdd, func: Callable[[Iterator], Any],
             (shuffle input, uncached persisted parent, coalesce, ...).
     """
     base, ops = rdd._process_plan(split)
-    return ProcessTask(stage_id, split, base, tuple(ops), func)
+    return ProcessTask(stage_id, split, base, tuple(ops), func, span_context)
 
 
 def dumps_task(task: ProcessTask) -> bytes:
@@ -110,13 +114,23 @@ def dumps_task(task: ProcessTask) -> bytes:
         raise ProcessUnsupported(f"task does not pickle: {exc!r}") from exc
 
 
-def run_payload(payload: bytes) -> Tuple[float, Any]:
-    """Worker entry point: unpickle, run, return (elapsed_seconds, result).
+def run_payload(payload: bytes) -> Tuple[float, Any, Optional[Any]]:
+    """Worker entry point: unpickle, run, return
+    ``(elapsed_seconds, result, telemetry)``.
 
     The elapsed time is measured *inside* the worker so the driver's
     ``task_seconds`` histogram reflects compute, not queueing or IPC.
+    The third element is the piggybacked
+    :class:`~repro.obs.crossproc.WorkerTelemetry` delta when the task
+    ships a live :class:`~repro.obs.crossproc.SpanContext`, else None —
+    the untraced path touches no telemetry machinery at all.
     """
     task: ProcessTask = pickle.loads(payload)
-    started = time.perf_counter()
-    result = task.run()
-    return (time.perf_counter() - started, result)
+    ctx = task.span_context
+    if ctx is None or not ctx.enabled:
+        started = time.perf_counter()
+        result = task.run()
+        return (time.perf_counter() - started, result, None)
+    from repro.obs.crossproc import run_traced_task
+
+    return run_traced_task(task)

@@ -61,6 +61,7 @@ from repro.engine.procpool import (
     run_payload,
     worker_initializer,
 )
+from repro.obs.crossproc import SpanContext, merge_telemetry
 from repro.obs.tracing import NULL_SPAN, NULL_TRACER, Tracer, task_contexts
 
 T = TypeVar("T")
@@ -91,6 +92,16 @@ class TaskScheduler:
         #: span tracer (NULL_TRACER = disabled, the zero-cost default);
         #: installed via EngineContext.install_tracer.
         self.tracer: Tracer = NULL_TRACER
+        #: driver-side sampling profiler, installed via
+        #: EngineContext.install_profiler; when live, process workers
+        #: mirror its rate and ship their stacks back for merging.
+        self.profiler = None
+        # Pre-seed the process-health counters so a processes-backend
+        # session exports them (with _total suffixes) from the first
+        # scrape, even before any job falls back or any worker dies.
+        if self._backend == "processes":
+            self._metrics.incr(MetricsRegistry.PROCESS_FALLBACKS, 0.0)
+            self._metrics.incr(MetricsRegistry.WORKER_RESPAWNS, 0.0)
         self._stage_ids = iter(range(1, 1 << 62))
         self._pool: Optional[ThreadPoolExecutor] = None
         self._proc_pool: Optional[ProcessPoolExecutor] = None
@@ -173,30 +184,12 @@ class TaskScheduler:
             self._metrics.get(MetricsRegistry.TASK_RETRIES)
 
         in_task = getattr(self._local, "in_task", False)
-        # Resolve the execution mode for THIS job before opening the
-        # span, so `engine.backend` reflects what actually ran (a
-        # process job that falls back to threads is labelled threads).
-        mode = self._backend
-        if in_task or in_worker() or len(partitions) <= 1:
-            mode = "inline"
-        payloads: Optional[Dict[int, bytes]] = None
-        if mode == "processes":
-            try:
-                payloads = {
-                    split: dumps_task(
-                        build_process_task(rdd, func, stage_id, split)
-                    )
-                    for split in partitions
-                }
-            except ProcessUnsupported:
-                # Lineage or closure can't cross the process boundary;
-                # run the job on the thread path instead.
-                self._metrics.incr(MetricsRegistry.PROCESS_FALLBACKS)
-                mode = "threads" if self._max_workers > 1 else "inline"
-
-        def run_one(split: int) -> U:
-            return self._run_task(rdd, func, stage_id, split)
-
+        # The job span is created (id allocated) before task payloads
+        # pickle, because process tasks carry its id in their
+        # SpanContext so worker-side engine.task spans parent under it.
+        # The `backend` attribute is attached only after the execution
+        # mode is resolved, so it reflects what actually ran (a process
+        # job that falls back to threads is labelled threads).
         tracer = self.tracer
         job_span = (
             tracer.span(
@@ -205,11 +198,45 @@ class TaskScheduler:
                 rdd_id=rdd.rdd_id,
                 rdd_type=type(rdd).__name__,
                 partitions=len(partitions),
-                backend=mode,
             )
             if tracer.enabled
             else NULL_SPAN
         )
+        mode = self._backend
+        if in_task or in_worker() or len(partitions) <= 1:
+            mode = "inline"
+        payloads: Optional[Dict[int, bytes]] = None
+        if mode == "processes":
+            span_context = None
+            if tracer.enabled:
+                profiler = self.profiler
+                span_context = SpanContext(
+                    parent_span_id=job_span.span_id,
+                    profile_hz=(
+                        profiler.hz
+                        if profiler is not None and profiler.running
+                        else 0.0
+                    ),
+                )
+            try:
+                payloads = {
+                    split: dumps_task(
+                        build_process_task(
+                            rdd, func, stage_id, split, span_context
+                        )
+                    )
+                    for split in partitions
+                }
+            except ProcessUnsupported:
+                # Lineage or closure can't cross the process boundary;
+                # run the job on the thread path instead.
+                self._metrics.incr(MetricsRegistry.PROCESS_FALLBACKS)
+                mode = "threads" if self._max_workers > 1 else "inline"
+        job_span.set_attribute("backend", mode)
+
+        def run_one(split: int) -> U:
+            return self._run_task(rdd, func, stage_id, split)
+
         with job_span, Timer() as timer:
             if mode == "processes":
                 assert payloads is not None
@@ -337,13 +364,23 @@ class TaskScheduler:
             blamed: Optional[int] = None
             for split in submitted:
                 try:
-                    elapsed, result = futures[split].result()
+                    elapsed, result, telemetry = futures[split].result()
                 except BrokenProcessPool as exc:
                     broken, blamed = exc, split
                     break
                 results[split] = result
                 self._metrics.incr(MetricsRegistry.TASKS)
                 self._metrics.observe(MetricsRegistry.TASK_SECONDS, elapsed)
+                # Merge the piggybacked worker delta exactly once per
+                # *recorded* result: an attempt lost to a dying worker
+                # never returns, so respawned retries cannot
+                # double-count its spans or histogram observations.
+                merge_telemetry(
+                    telemetry,
+                    tracer=self.tracer,
+                    metrics=self._metrics,
+                    profiler=self.profiler,
+                )
             pending = [s for s in partitions if s not in results]
             if broken is None:
                 continue

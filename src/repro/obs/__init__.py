@@ -22,6 +22,11 @@ Live-monitoring pillars (same doc, "Live monitoring"):
   and metrics scrapes.
 * :mod:`repro.obs.profiler` — the span-attributing
   :class:`SamplingProfiler` with collapsed-stack export.
+* :mod:`repro.obs.crossproc` — cross-process telemetry for
+  ``backend="processes"``: span parentage shipped down to workers
+  (:class:`SpanContext`), worker spans/metrics/profiles piggybacked
+  back (:class:`WorkerTelemetry`) and merged under ``worker=<pid>``
+  labels.
 
 Observer code must never influence query outputs: calling into this
 package from a mapper/reducer is flagged by upalint (UPA011), and
@@ -36,13 +41,23 @@ from repro.obs.alerts import (
     ClampRateRule,
     GaugeThresholdRule,
     SensitivityDriftRule,
+    WorkerRssRule,
+    WorkerStarvationRule,
     default_rules,
 )
+from repro.obs.crossproc import (
+    SpanContext,
+    WorkerTelemetry,
+    merge_telemetry,
+    worker_table,
+)
 from repro.obs.exporters import (
+    labeled_name,
     render_otlp_metrics,
     render_otlp_spans,
     render_prometheus,
     sanitize_metric_name,
+    split_labeled_name,
 )
 from repro.obs.ledger import LedgerEntry, PrivacyLedger, make_entry
 from repro.obs.profiler import (
@@ -81,13 +96,19 @@ __all__ = [
     "SamplingProfiler",
     "SensitivityDriftRule",
     "Span",
+    "SpanContext",
     "SpanStat",
     "Tracer",
+    "WorkerRssRule",
+    "WorkerStarvationRule",
+    "WorkerTelemetry",
     "active_span_chain",
     "current_span",
     "default_rules",
     "get_tracer",
+    "labeled_name",
     "make_entry",
+    "merge_telemetry",
     "parse_collapsed",
     "render_otlp_metrics",
     "render_otlp_spans",
@@ -96,6 +117,8 @@ __all__ = [
     "sanitize_metric_name",
     "set_tracer",
     "span_table_from_collapsed",
+    "split_labeled_name",
     "trace",
     "use_tracer",
+    "worker_table",
 ]

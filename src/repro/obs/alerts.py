@@ -268,9 +268,109 @@ class GaugeThresholdRule(AlertRule):
         )
 
 
+@dataclass
+class WorkerStarvationRule(AlertRule):
+    """Process backend configured, but all work falls back to the driver.
+
+    Fires on a metrics tick when at least ``min_fallbacks`` jobs have
+    taken the fallback path while **no** worker has completed a single
+    task (every ``worker_tasks_completed`` gauge absent or zero).  That
+    combination means the pool is spawned and idle — typically every
+    shipped lineage has an unpicklable closure — and the operator is
+    paying process-pool overhead for thread-path throughput.  Silent on
+    thread/inline sessions: the ``process_fallbacks`` counter only
+    exists once a processes-backend scheduler is constructed.
+    """
+
+    min_fallbacks: float = 1.0
+    name: str = "worker-starvation"
+
+    def on_metrics(self, snapshot):
+        from repro.obs.crossproc import WORKER_TASKS_COMPLETED
+        from repro.obs.exporters import split_labeled_name
+
+        fallbacks = snapshot.counters.get("process_fallbacks")
+        if fallbacks is None or fallbacks < self.min_fallbacks:
+            return None
+        completed = 0.0
+        for raw, value in snapshot.gauges.items():
+            base, labels = split_labeled_name(raw)
+            if base == WORKER_TASKS_COMPLETED and labels:
+                completed += value
+        if completed > 0:
+            return None
+        return Alert(
+            rule=self.name,
+            severity="warning",
+            message=(
+                f"process workers are starving: {fallbacks:g} job(s) fell "
+                "back to the thread/inline path and no worker has "
+                "completed a task — shipped lineages are not crossing "
+                "the process boundary"
+            ),
+            context={
+                "process_fallbacks": fallbacks,
+                "worker_tasks_completed": completed,
+            },
+        )
+
+
+@dataclass
+class WorkerRssRule(AlertRule):
+    """Fire when any worker's rss gauge exceeds ``max_rss_kb``.
+
+    A label-aware :class:`GaugeThresholdRule`: the per-worker
+    ``worker_rss_kb`` gauges carry a ``worker=<pid>`` label, so the
+    rule scans every series of the family and names the worst offender.
+    The default threshold (4 GiB) is deliberately generous — the rule
+    exists to catch a leaking worker, not to police normal footprints.
+    """
+
+    max_rss_kb: float = 4.0 * 1024 * 1024
+    name: str = "worker-rss"
+
+    def on_metrics(self, snapshot):
+        from repro.obs.crossproc import WORKER_RSS_KB
+        from repro.obs.exporters import split_labeled_name
+
+        worst: Optional[tuple] = None
+        for raw, value in snapshot.gauges.items():
+            base, labels = split_labeled_name(raw)
+            if base != WORKER_RSS_KB or not labels:
+                continue
+            if value > self.max_rss_kb and (
+                worst is None or value > worst[1]
+            ):
+                worst = (labels.get("worker", "?"), value)
+        if worst is None:
+            return None
+        pid, rss = worst
+        return Alert(
+            rule=self.name,
+            severity="warning",
+            message=(
+                f"worker {pid} rss {rss:g} kB exceeds the configured "
+                f"threshold {self.max_rss_kb:g} kB"
+            ),
+            context={"worker": pid, "rss_kb": rss,
+                     "max_rss_kb": self.max_rss_kb},
+        )
+
+
 def default_rules() -> List[AlertRule]:
-    """The three rules every monitored session should run."""
-    return [BudgetBurnRule(), SensitivityDriftRule(), ClampRateRule()]
+    """The rules every monitored session should run.
+
+    The ledger-driven trio (budget burn, sensitivity drift, clamp
+    rate) plus the process-worker health pair — the latter are silent
+    no-ops unless a processes-backend session is actually running.
+    """
+    return [
+        BudgetBurnRule(),
+        SensitivityDriftRule(),
+        ClampRateRule(),
+        WorkerStarvationRule(),
+        WorkerRssRule(),
+    ]
 
 
 class AlertEngine:

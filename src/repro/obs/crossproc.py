@@ -1,0 +1,310 @@
+"""Cross-process telemetry for the ``processes`` executor backend.
+
+The observability stack (:mod:`repro.obs`) is contextvar- and
+thread-local: spans nest through a ``ContextVar``, the profiler walks
+``sys._current_frames()``, the metrics registry lives on the driver's
+``EngineContext``.  None of that crosses a process boundary, so without
+this module a ``backend="processes"`` run produces no worker-side
+spans, task histograms or profile samples — the surfaces silently
+report a fraction of the real work.
+
+The design has two halves and **no extra IPC channel**:
+
+* **Ship parentage down.**  A picklable :class:`SpanContext` rides
+  inside each :class:`~repro.engine.procpool.ProcessTask`.  It carries
+  the coordinator's ``engine.job`` span id and the live profiler rate;
+  a few dozen bytes on a payload that already holds the partition.
+
+* **Piggyback telemetry up.**  The worker keeps lazily-created
+  *worker-local* instances of the same primitives — a
+  :class:`~repro.obs.tracing.Tracer`, a
+  :class:`~repro.engine.metrics.MetricsRegistry`, a
+  :class:`~repro.obs.profiler.SamplingProfiler` — and wraps each task
+  in an ``engine.task`` span with the tracer installed as the process
+  ambient (:func:`repro.obs.tracing.set_tracer`) and the registry as
+  the ambient registry
+  (:func:`repro.engine.metrics.set_ambient_metrics`), so instrumented
+  code deep in the task (monoid batch kernels, fused SQL stages) lands
+  in the worker-local collectors.  On completion the *delta* — new
+  spans as :meth:`~repro.obs.tracing.Span.to_dict` dicts, counter and
+  histogram increments, worker health facts (pid, rss via
+  ``resource.getrusage``, uptime, tasks completed), drained profiler
+  stacks — travels back as the third element of the task result tuple
+  (:class:`WorkerTelemetry`).
+
+The driver merges each delta exactly once per *recorded* result
+(:func:`merge_telemetry`): spans are adopted with remapped ids and
+re-parented under the job span
+(:meth:`~repro.obs.tracing.Tracer.merge_foreign_spans`), metrics are
+re-recorded under a ``worker=<pid>`` label
+(:func:`repro.obs.exporters.labeled_name`), health facts become
+labelled gauges, and profile stacks add into the driver profiler with
+span attribution intact.  A task attempt lost to a dying worker ships
+nothing, so respawn/retry accounting cannot double-count.
+
+Everything here is gated on the driver's tracer being enabled: an
+untraced processes run ships the same 2-tuple it always did, keeping
+the disabled path's overhead at zero.
+"""
+
+from __future__ import annotations
+
+import os
+import resource
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.engine.metrics import (
+    MetricsRegistry,
+    set_ambient_metrics,
+)
+from repro.obs.exporters import labeled_name
+from repro.obs.profiler import SamplingProfiler
+from repro.obs.tracing import (
+    Tracer,
+    _active_by_thread,
+    _current_span,
+    set_tracer,
+)
+
+#: per-worker health gauges, exported with a ``worker=<pid>`` label.
+WORKER_RSS_KB = "worker_rss_kb"
+WORKER_UPTIME_SECONDS = "worker_uptime_seconds"
+WORKER_TASKS_COMPLETED = "worker_tasks_completed"
+
+#: worker-side histogram: records in each task's base partition.
+TASK_RECORDS = "task_records"
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """Picklable span parentage shipped inside a process task.
+
+    The wire format of "where does this task hang in the span tree":
+    the coordinator's ``engine.job`` span id, whether tracing is on at
+    all, and the driver profiler's sampling rate (0.0 = no profiling)
+    so the worker can mirror it.  Frozen because it is shared state
+    crossing a process boundary — a worker must not mutate it.
+    """
+
+    parent_span_id: Optional[int] = None
+    enabled: bool = True
+    profile_hz: float = 0.0
+
+
+@dataclass
+class WorkerTelemetry:
+    """One task's telemetry delta, piggybacked on the result tuple.
+
+    Plain dicts/tuples only — the driver-side primitives
+    (``MetricsRegistry`` holds a lock, ``Tracer`` holds spans with
+    tracer backrefs) do not pickle, and should not: the delta is data,
+    not behaviour.
+    """
+
+    pid: int
+    #: echo of :attr:`SpanContext.parent_span_id`, so the driver-side
+    #: merge needs no extra bookkeeping to re-parent worker spans.
+    parent_span_id: Optional[int]
+    #: the worker tracer's wall-clock epoch; the driver rebases span
+    #: start times by the epoch difference.
+    wall_epoch: float
+    spans: List[Dict[str, Any]] = field(default_factory=list)
+    counters: Dict[str, float] = field(default_factory=dict)
+    histograms: Dict[str, Tuple[float, ...]] = field(default_factory=dict)
+    rss_kb: float = 0.0
+    uptime_seconds: float = 0.0
+    tasks_completed: int = 0
+    profile_stacks: Dict[Tuple[str, ...], int] = field(default_factory=dict)
+
+
+class _WorkerState:
+    """Worker-local telemetry collectors, created on first traced task.
+
+    One per worker *process* (module global), persistent across tasks:
+    the tracer/registry accumulate and each task ships only its slice,
+    while ``tasks_completed``/uptime are deliberately cumulative —
+    they are health facts about the worker, not the task.
+    """
+
+    def __init__(self) -> None:
+        # A fork-started worker inherits the driver's live tracing
+        # state — the current-span contextvar and the per-thread span
+        # registry both point at *driver* spans (the pool is typically
+        # forked inside an entered engine.job span).  Parenting worker
+        # spans under those would be wrong twice over: the ids belong
+        # to the driver tracer's counter (colliding with ours), and the
+        # merge re-parents under the job span anyway.  Start clean.
+        _current_span.set(None)
+        _active_by_thread.clear()
+        self.tracer = Tracer()
+        self.metrics = MetricsRegistry()
+        self.started = time.time()
+        self.tasks_completed = 0
+        self.profiler: Optional[SamplingProfiler] = None
+
+    def ensure_profiler(self, hz: float) -> Optional[SamplingProfiler]:
+        if hz <= 0:
+            return None
+        if self.profiler is None:
+            self.profiler = SamplingProfiler(hz=hz)
+        if not self.profiler.running:
+            self.profiler.start()
+        return self.profiler
+
+
+_STATE: Optional[_WorkerState] = None
+
+
+def _worker_state() -> _WorkerState:
+    global _STATE
+    if _STATE is None:
+        _STATE = _WorkerState()
+    return _STATE
+
+
+def run_traced_task(task) -> Tuple[float, Any, WorkerTelemetry]:
+    """Worker-side traced execution of one :class:`ProcessTask`.
+
+    Wraps ``task.run()`` in an ``engine.task`` span on the worker-local
+    tracer (installed as the process ambient for the duration, so
+    nested instrumentation parents under it) and returns
+    ``(elapsed_seconds, result, telemetry)``.  A raising task
+    propagates its exception — its attempt ships no telemetry, which
+    is what makes retry accounting safe.
+    """
+    ctx: SpanContext = task.span_context
+    state = _worker_state()
+    profiler = state.ensure_profiler(ctx.profile_hz)
+    spans_before = len(state.tracer)
+    metrics_before = state.metrics.snapshot()
+    prev_tracer = set_tracer(state.tracer)
+    prev_metrics = set_ambient_metrics(state.metrics)
+    started = time.perf_counter()
+    try:
+        with state.tracer.span(
+            "engine.task",
+            stage_id=task.stage_id,
+            partition=task.split,
+            worker=os.getpid(),
+        ):
+            result = task.run()
+    finally:
+        set_tracer(prev_tracer)
+        set_ambient_metrics(prev_metrics)
+    elapsed = time.perf_counter() - started
+    state.metrics.observe(MetricsRegistry.TASK_SECONDS, elapsed)
+    try:
+        state.metrics.observe(TASK_RECORDS, float(len(task.base)))
+    except (TypeError, AttributeError):
+        pass
+    state.tasks_completed += 1
+    delta = state.metrics.snapshot().diff(metrics_before)
+    spans = [s.to_dict() for s in state.tracer.spans()[spans_before:]]
+    stacks: Dict[Tuple[str, ...], int] = {}
+    if profiler is not None:
+        stacks = profiler.stacks()
+        profiler.reset()
+    telemetry = WorkerTelemetry(
+        pid=os.getpid(),
+        parent_span_id=ctx.parent_span_id,
+        wall_epoch=state.tracer.wall_epoch,
+        spans=spans,
+        counters={k: v for k, v in delta.counters.items() if v},
+        histograms={k: v for k, v in delta.histograms.items() if v},
+        rss_kb=float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss),
+        uptime_seconds=time.time() - state.started,
+        tasks_completed=state.tasks_completed,
+        profile_stacks=stacks,
+    )
+    return elapsed, result, telemetry
+
+
+def merge_telemetry(
+    telemetry: Optional[WorkerTelemetry],
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+    profiler: Optional[SamplingProfiler] = None,
+) -> None:
+    """Fold one worker delta into the driver-side collectors.
+
+    Every operation here is additive and per-series commutative, so
+    merging deltas in completion order (which is not partition order)
+    is order-independent.  ``None`` telemetry (untraced task) is a
+    no-op.
+    """
+    if telemetry is None:
+        return
+    worker = str(telemetry.pid)
+    if tracer is not None:
+        tracer.merge_foreign_spans(
+            telemetry.spans,
+            parent_id=telemetry.parent_span_id,
+            wall_epoch=telemetry.wall_epoch,
+        )
+    if metrics is not None:
+        for name, value in sorted(telemetry.counters.items()):
+            metrics.incr(labeled_name(name, worker=worker), value)
+        for name, values in sorted(telemetry.histograms.items()):
+            series = labeled_name(name, worker=worker)
+            for value in values:
+                metrics.observe(series, value)
+        metrics.set_gauge(
+            labeled_name(WORKER_RSS_KB, worker=worker), telemetry.rss_kb
+        )
+        metrics.set_gauge(
+            labeled_name(WORKER_UPTIME_SECONDS, worker=worker),
+            telemetry.uptime_seconds,
+        )
+        metrics.set_gauge(
+            labeled_name(WORKER_TASKS_COMPLETED, worker=worker),
+            float(telemetry.tasks_completed),
+        )
+    if profiler is not None and telemetry.profile_stacks:
+        profiler.merge_stacks(telemetry.profile_stacks)
+
+
+def worker_table(snapshot) -> List[Dict[str, Any]]:
+    """Per-worker health rows derived from one metrics snapshot.
+
+    Scans every ``worker``-labelled series the telemetry merge records
+    and folds them into one row per pid: rss/uptime/tasks-completed
+    gauges plus a summary of the worker's ``task_seconds`` histogram.
+    The primitive behind the ``/workers`` endpoint and the ``repro
+    report`` per-worker table; an empty list simply means no process
+    worker has reported (thread/inline run, or nothing shipped yet).
+    """
+    from repro.engine.metrics import HistogramSummary
+    from repro.obs.exporters import split_labeled_name
+
+    workers: Dict[str, Dict[str, Any]] = {}
+
+    def row(pid: str) -> Dict[str, Any]:
+        return workers.setdefault(pid, {"worker": pid})
+
+    gauge_fields = {
+        WORKER_RSS_KB: "rss_kb",
+        WORKER_UPTIME_SECONDS: "uptime_seconds",
+        WORKER_TASKS_COMPLETED: "tasks_completed",
+    }
+    for raw, value in snapshot.gauges.items():
+        base, labels = split_labeled_name(raw)
+        if not labels or "worker" not in labels:
+            continue
+        field_name = gauge_fields.get(base)
+        if field_name is not None:
+            row(labels["worker"])[field_name] = value
+    for raw, values in snapshot.histograms.items():
+        base, labels = split_labeled_name(raw)
+        if not labels or "worker" not in labels:
+            continue
+        if base == MetricsRegistry.TASK_SECONDS:
+            row(labels["worker"])["task_seconds"] = (
+                HistogramSummary.from_values(values).to_dict()
+            )
+    # Numeric pid order where pids are numeric, lexicographic otherwise.
+    return [
+        workers[pid]
+        for pid in sorted(workers, key=lambda p: (len(p), p))
+    ]

@@ -49,6 +49,41 @@ def run_header(**extra: Any) -> Dict[str, Any]:
     return header
 
 
+def _workers_from_trace_events(
+    events: Sequence[Dict[str, Any]],
+) -> List[Dict[str, Any]]:
+    """Per-worker rows recovered from archived Chrome-trace events.
+
+    ``engine.task`` spans merged from process workers carry the worker
+    pid in their ``worker`` attribute (landing in the event's ``args``).
+    A trace has no rss/uptime gauges, so artifact-derived rows hold
+    what the spans preserve: task count and task-seconds summary.
+    """
+    per_worker: Dict[str, List[float]] = {}
+    for event in events:
+        if event.get("name") != "engine.task":
+            continue
+        args = event.get("args") or {}
+        worker = args.get("worker")
+        if worker is None:
+            continue
+        per_worker.setdefault(str(worker), []).append(
+            float(event.get("dur", 0.0)) / 1e6
+        )
+    return [
+        {
+            "worker": pid,
+            "tasks_completed": float(len(durations)),
+            "task_seconds": HistogramSummary.from_values(
+                durations
+            ).to_dict(),
+        }
+        for pid, durations in sorted(
+            per_worker.items(), key=lambda kv: (len(kv[0]), kv[0])
+        )
+    ]
+
+
 @dataclass(frozen=True)
 class SpanStat:
     """Aggregate of every span sharing one name."""
@@ -113,6 +148,10 @@ class ObservedRun:
     alerts: List[Dict[str, Any]] = field(default_factory=list)
     #: profiler (span, samples, estimated seconds) self-time rows.
     profile: List[Tuple[str, int, float]] = field(default_factory=list)
+    #: per-worker health rows (processes backend; see
+    #: :func:`repro.obs.crossproc.worker_table`). Empty for
+    #: thread/inline runs.
+    workers: List[Dict[str, Any]] = field(default_factory=list)
 
     # -- constructors -------------------------------------------------
     @classmethod
@@ -142,8 +181,13 @@ class ObservedRun:
         profile: List[Tuple[str, int, float]] = []
         if profiler is not None:
             profile = profiler.span_table()
+        workers: List[Dict[str, Any]] = []
+        if metrics is not None:
+            from repro.obs.crossproc import worker_table
+
+            workers = worker_table(metrics)
         return cls(header, durations, metrics, entries, totals,
-                   alerts, profile)
+                   alerts, profile, workers)
 
     @classmethod
     def from_artifacts(
@@ -154,6 +198,7 @@ class ObservedRun:
     ) -> "ObservedRun":
         header: Dict[str, Any] = {}
         durations: List[Tuple[str, float]] = []
+        workers: List[Dict[str, Any]] = []
         if trace_path is not None:
             with open(trace_path, "r", encoding="utf-8") as handle:
                 trace = json.load(handle)
@@ -166,6 +211,7 @@ class ObservedRun:
             durations = [
                 (e["name"], float(e.get("dur", 0.0)) / 1e6) for e in events
             ]
+            workers = _workers_from_trace_events(events)
         entries: List[LedgerEntry] = []
         totals: Dict[str, float] = {}
         alerts: List[Dict[str, Any]] = []
@@ -186,7 +232,7 @@ class ObservedRun:
             with open(profile_path, "r", encoding="utf-8") as handle:
                 profile = span_table_from_collapsed(handle.read())
         return cls(header, durations, None, entries, totals,
-                   alerts, profile)
+                   alerts, profile, workers)
 
     # -- breakdowns ---------------------------------------------------
     def phase_stats(self) -> List[SpanStat]:
@@ -236,6 +282,7 @@ class ObservedRun:
                 {"span": span, "samples": samples, "seconds": seconds}
                 for span, samples, seconds in self.profile
             ],
+            "workers": [dict(w) for w in self.workers],
         }
 
     def render_json(self) -> str:
@@ -292,6 +339,25 @@ class ObservedRun:
                 "metric histograms:\n" + format_table(
                     ["histogram", "count", "min", "mean", "p50", "p90",
                      "p99", "max"], rows)
+            )
+        if self.workers:
+            rows = []
+            for w in self.workers:
+                tasks = w.get("task_seconds") or {}
+                rows.append([
+                    w.get("worker", "?"),
+                    f"{w.get('tasks_completed', 0):g}",
+                    f"{tasks.get('count', 0):g}",
+                    f"{tasks.get('mean', 0.0) * 1000:.2f}",
+                    f"{tasks.get('p90', 0.0) * 1000:.2f}",
+                    f"{w['rss_kb']:g}" if "rss_kb" in w else "-",
+                    f"{w['uptime_seconds']:.1f}"
+                    if "uptime_seconds" in w else "-",
+                ])
+            sections.append(
+                "worker processes:\n" + format_table(
+                    ["worker", "tasks", "task obs", "mean ms", "p90 ms",
+                     "rss kB", "uptime s"], rows)
             )
         if self.profile:
             rows = [

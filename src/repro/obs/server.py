@@ -20,6 +20,10 @@ endpoint    serves
              (``?format=otlp`` for OTLP-style spans)
 ``/budget``  per-accountant balance snapshots
 ``/profile`` the sampling profiler's collapsed stacks so far
+``/workers`` per-worker health JSON (processes backend): pid, rss,
+             uptime, tasks completed, task-seconds summary — derived
+             from the ``worker``-labelled series the cross-process
+             telemetry merge records (:mod:`repro.obs.crossproc`)
 ========== ==========================================================
 
 Every data source (metrics registry, tracer, ledger, accountant,
@@ -212,6 +216,8 @@ class ObservabilityServer:
             return self._budget()
         if path == "/profile":
             return self._profile()
+        if path == "/workers":
+            return self._workers()
         return (
             404, "text/plain; charset=utf-8",
             f"no such endpoint: {path}\n".encode("utf-8"),
@@ -228,6 +234,7 @@ class ObservabilityServer:
             ),
             "/budget": bool(self.accountants),
             "/profile": self.profiler is not None,
+            "/workers": self.metrics is not None,
         }
         return _json_response({
             "service": "repro.obs",
@@ -347,3 +354,15 @@ class ObservabilityServer:
                     b"no profiler attached\n")
         body = self.profiler.collapsed_stacks()
         return 200, "text/plain; charset=utf-8", body.encode("utf-8")
+
+    def _workers(self) -> _Response:
+        if self.metrics is None:
+            return (404, "text/plain; charset=utf-8",
+                    b"no metrics registry attached\n")
+        from repro.obs.crossproc import worker_table
+
+        workers = worker_table(self.metrics.snapshot())
+        return _json_response({
+            "workers": workers,
+            "count": len(workers),
+        })

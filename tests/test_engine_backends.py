@@ -17,7 +17,12 @@ Process-pool specifics exercised here:
 * permanent failures surface as :class:`TaskFailedError` carrying
   stage/partition/attempt context (never a raw pool exception);
 * the ``spawn`` start method works (workers re-import modules from a
-  replayed ``sys.path``).
+  replayed ``sys.path``);
+* with a tracer installed, worker-side telemetry (spans, labelled
+  metrics, health gauges) is piggybacked on task results and merged
+  into the driver collectors — exactly once per recorded result, so a
+  respawned worker cannot double-count (see
+  :mod:`repro.obs.crossproc`).
 """
 
 from __future__ import annotations
@@ -37,6 +42,13 @@ from repro.engine import EngineContext
 from repro.engine.fault import FaultInjector
 from repro.engine.metrics import MetricsRegistry
 from repro.mining import LifeScienceConfig, make_life_science_tables
+from repro.obs.crossproc import (
+    WORKER_RSS_KB,
+    WORKER_TASKS_COMPLETED,
+    WORKER_UPTIME_SECONDS,
+)
+from repro.obs.exporters import split_labeled_name
+from repro.obs.tracing import Tracer
 from repro.sql import SQLSession
 from repro.tpch import TPCHConfig, TPCHGenerator
 from repro.tpch.datagen import register_tables
@@ -233,6 +245,121 @@ class TestProcessFaultTolerance:
             )
         finally:
             ctx.stop()
+
+
+# ----------------------------------------------------------------------
+# Cross-process telemetry (repro.obs.crossproc)
+# ----------------------------------------------------------------------
+
+
+def _labelled(series: dict, base: str) -> dict:
+    """The ``worker``-labelled members of one metric family."""
+    out = {}
+    for raw, value in series.items():
+        got_base, labels = split_labeled_name(raw)
+        if got_base == base and labels and "worker" in labels:
+            out[labels["worker"]] = value
+    return out
+
+
+class TestCrossProcessTelemetry:
+    def test_worker_spans_parent_under_their_own_job(self):
+        ctx = make_ctx("processes")
+        tracer = Tracer()
+        ctx.install_tracer(tracer, events=False)
+        try:
+            ctx.parallelize(range(8), 4).map(_square).collect()
+            ctx.parallelize(range(8), 4).map(_square).collect()
+            assert ctx.metrics.get(MetricsRegistry.PROCESS_FALLBACKS) == 0
+        finally:
+            ctx.stop()
+        jobs = {s.span_id: s for s in tracer.spans()
+                if s.name == "engine.job"}
+        tasks = [s for s in tracer.spans() if s.name == "engine.task"]
+        assert len(jobs) == 2
+        assert len(tasks) == 8
+        # Each worker span hangs under the job that shipped it — not
+        # under the other job, not under a dangling foreign id.
+        per_job: dict = {}
+        for task in tasks:
+            assert task.parent_id in jobs
+            per_job[task.parent_id] = per_job.get(task.parent_id, 0) + 1
+            # ...and really ran out-of-process.
+            assert task.attributes.get("worker") not in (None, os.getpid())
+            # Rebasing kept the span inside its job's wall-clock window
+            # (generous slack: epochs come from different clocks).
+            job = jobs[task.parent_id]
+            assert task.start >= job.start - 1.0
+        assert sorted(per_job.values()) == [4, 4]
+
+    def test_worker_metrics_merge_under_worker_labels(self):
+        ctx = make_ctx("processes")
+        tracer = Tracer()
+        ctx.install_tracer(tracer, events=False)
+        try:
+            ctx.parallelize(range(8), 4).map(_square).collect()
+            snap = ctx.metrics.snapshot()
+        finally:
+            ctx.stop()
+        per_worker = _labelled(
+            {k: len(v) for k, v in snap.histograms.items()},
+            MetricsRegistry.TASK_SECONDS,
+        )
+        assert sum(per_worker.values()) == 4  # one obs per partition
+        for base in (WORKER_RSS_KB, WORKER_UPTIME_SECONDS,
+                     WORKER_TASKS_COMPLETED):
+            gauges = _labelled(snap.gauges, base)
+            assert set(gauges) == set(per_worker), base
+            assert all(v > 0 for v in gauges.values()), base
+
+    def test_telemetry_survives_respawn_without_double_count(self, tmp_path):
+        ctx = make_ctx("processes")
+        tracer = Tracer()
+        ctx.install_tracer(tracer, events=False)
+        try:
+            kill = _KillOnce(str(tmp_path / "killed.flag"))
+            out = ctx.parallelize(range(12), 3).map_partitions(kill).collect()
+            assert out == [v * 3 for v in range(12)]
+            snap = ctx.metrics.snapshot()
+            assert snap.get(MetricsRegistry.WORKER_RESPAWNS) >= 1
+        finally:
+            ctx.stop()
+        # The killed attempt shipped nothing; only recorded results
+        # merge.  Exactly one engine.task span and one labelled
+        # task_seconds observation per partition.
+        tasks = [s for s in tracer.spans() if s.name == "engine.task"]
+        assert len(tasks) == 3
+        per_worker = _labelled(
+            {k: len(v) for k, v in snap.histograms.items()},
+            MetricsRegistry.TASK_SECONDS,
+        )
+        assert sum(per_worker.values()) == 3
+
+    def test_spawned_workers_ship_telemetry_too(self):
+        ctx = make_ctx("processes", process_start_method="spawn")
+        tracer = Tracer()
+        ctx.install_tracer(tracer, events=False)
+        try:
+            out = ctx.parallelize(range(8), 2).map(_square).collect()
+            assert out == [v * v for v in range(8)]
+            snap = ctx.metrics.snapshot()
+        finally:
+            ctx.stop()
+        tasks = [s for s in tracer.spans() if s.name == "engine.task"]
+        assert len(tasks) == 2
+        assert _labelled(snap.gauges, WORKER_TASKS_COMPLETED)
+
+    def test_untraced_processes_run_ships_nothing(self):
+        ctx = make_ctx("processes")
+        try:
+            ctx.parallelize(range(8), 4).map(_square).collect()
+            snap = ctx.metrics.snapshot()
+        finally:
+            ctx.stop()
+        # Telemetry is gated on the tracer: without one, no labelled
+        # series appear anywhere (the untraced path is unchanged).
+        for series in (snap.counters, snap.gauges, snap.histograms):
+            assert all("#" not in name for name in series)
 
 
 # ----------------------------------------------------------------------
