@@ -115,6 +115,16 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--epsilon", type=float, default=0.1)
     run.add_argument("--sample-size", type=int, default=1000)
+    run.add_argument(
+        "--append", metavar="N", type=int, default=0,
+        help="after the initial release, append N records per step via "
+        "the incremental session path (each append is a fresh release "
+        "charging --epsilon again)",
+    )
+    run.add_argument(
+        "--append-steps", metavar="K", type=int, default=1,
+        help="with --append: number of append steps (default: 1)",
+    )
     _add_engine_args(run)
     _add_observability_args(run)
 
@@ -388,7 +398,16 @@ def _cmd_run(args) -> int:
     from repro.workloads import workload_by_name
 
     workload = workload_by_name(args.workload)
-    tables = workload.make_tables(args.scale, args.seed)
+    append_n = max(0, args.append)
+    append_steps = max(1, args.append_steps) if append_n else 0
+    # Appended records come from generating the *grown* dataset once
+    # and holding back the tail, so every step appends realistic rows.
+    tables = workload.make_tables(
+        args.scale + append_n * append_steps, args.seed
+    )
+    protected = workload.query.protected_table
+    held_back = tables[protected][args.scale:]
+    del tables[protected][args.scale:]
     tracer, ledger = _setup_observability(
         args, command="run", workload=args.workload, epsilon=args.epsilon,
         sample_size=args.sample_size, seed=args.seed, scale=args.scale,
@@ -404,6 +423,18 @@ def _cmd_run(args) -> int:
     server, profiler = _start_live(args, session)
     with use_tracer(tracer):
         result = session.run(workload.query, tables, epsilon=args.epsilon)
+        for step in range(append_steps):
+            chunk = held_back[step * append_n:(step + 1) * append_n]
+            result = session.append(chunk, epsilon=args.epsilon)
+            stats = session._last_incremental or {}
+            print(
+                f"append {step + 1}/{append_steps}: +{len(chunk)} records, "
+                f"released in {result.elapsed_seconds:.3f}s "
+                f"(delta fraction "
+                f"{stats.get('delta_fraction', 1.0):.4f}, "
+                f"{stats.get('records_reused', 0)} mapped records reused, "
+                f"{stats.get('blocks_recomputed', 0)} block(s) recomputed)"
+            )
     truth = workload.query.output(tables)
     rows = [
         ["true answer", truth[0] if truth.shape[0] == 1 else list(truth)],

@@ -102,6 +102,21 @@ class MapReduceQuery:
     #: UPA005 finding to info for declared queries.
     aux_reads_protected: bool = False
 
+    @property
+    def incremental_safe(self) -> bool:
+        """Whether mapped elements may be cached across appends.
+
+        The incremental session path (``UPASession.append``) reuses
+        ``map_record`` outputs from earlier releases.  That is sound
+        only when aux — the other mapper input — is unchanged by a data
+        change, i.e. when ``build_aux`` never reads the protected
+        table.  Queries declaring ``aux_reads_protected`` still work
+        with ``append`` but are re-mapped in full every release.  The
+        monoid-purity preconditions (no captured mutable state in
+        ``map``/``combine``) are checked statically by upalint's UPA015.
+        """
+        return not self.aux_reads_protected
+
     # ------------------------------------------------------------------
     # Monoid interface
     # ------------------------------------------------------------------

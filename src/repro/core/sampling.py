@@ -18,7 +18,7 @@ from __future__ import annotations
 import random
 import zlib
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.errors import DPError
 from repro.core.query import MapReduceQuery, Row, Tables
@@ -49,6 +49,11 @@ class PartitionedSample:
         sampled_partitions: partition id of each sampled record.
         remaining: S' = x \\ S, per partition, original order preserved.
         domain_samples: n records from D but not in x.
+        partition_ids: partition id of *every* record, in table order.
+            Partitioning is content-hashed and records are immutable
+            within the session contract, so the incremental path caches
+            this list across runs and only hashes appended records.
+        sampled_indices: table-order indices of the sampled records.
     """
 
     partitions: Tuple[List[Row], List[Row]]
@@ -56,6 +61,8 @@ class PartitionedSample:
     sampled_partitions: List[int]
     remaining: Tuple[List[Row], List[Row]]
     domain_samples: List[Row]
+    partition_ids: List[int] = field(default_factory=list)
+    sampled_indices: List[int] = field(default_factory=list)
 
     @property
     def sample_size(self) -> int:
@@ -67,12 +74,19 @@ def partition_and_sample(
     tables: Tables,
     sample_size: int,
     rng: random.Random,
+    partition_ids: Optional[List[int]] = None,
 ) -> PartitionedSample:
     """Run Partition & Sample for ``query`` over its protected table.
 
     If the dataset has fewer than ``sample_size`` records, every record
     is sampled (the paper: n is lowered to |x|, giving the *exact*
     neighbour set).
+
+    ``partition_ids`` optionally supplies the precomputed content-hash
+    partition of every record (one id per record, table order) so
+    incremental runs skip re-fingerprinting the whole table; content
+    hashing is deterministic, so the output is bitwise identical either
+    way.
     """
     records = tables[query.protected_table]
     if not records:
@@ -82,7 +96,13 @@ def partition_and_sample(
         )
     n = min(sample_size, len(records))
 
-    partition_ids = [partition_of(r) for r in records]
+    if partition_ids is None:
+        partition_ids = [partition_of(r) for r in records]
+    elif len(partition_ids) != len(records):
+        raise DPError(
+            f"partition_ids has {len(partition_ids)} entries for "
+            f"{len(records)} records"
+        )
     partitions: Tuple[List[Row], List[Row]] = ([], [])
     for record, pid in zip(records, partition_ids):
         partitions[pid].append(record)
@@ -106,4 +126,6 @@ def partition_and_sample(
         sampled_partitions=sampled_parts,
         remaining=remaining,
         domain_samples=domain_samples,
+        partition_ids=list(partition_ids),
+        sampled_indices=list(sampled_indices),
     )

@@ -40,7 +40,11 @@ from repro.core.inference import (
 )
 from repro.core.query import MapReduceQuery, Tables
 from repro.core.range_enforcer import EnforcementResult, RangeEnforcer
-from repro.core.sampling import PartitionedSample, partition_and_sample
+from repro.core.sampling import (
+    PartitionedSample,
+    partition_and_sample,
+    partition_of,
+)
 from repro.dp.budget import PrivacyAccountant
 from repro.dp.mechanisms import GaussianMechanism, LaplaceMechanism
 from repro.engine.context import EngineContext
@@ -218,6 +222,69 @@ class _PipelineState:
         return True
 
 
+#: records per cached element block.  Blocks use *absolute* record
+#: indexing (index since the session first saw the table), so retire()
+#: — a prefix deletion — leaves every untouched block addressable and
+#: only boundary blocks are remapped.
+_INCR_BLOCK_RECORDS = 4096
+
+
+class _IncrementalState:
+    """Bookkeeping the append()/retire() fast path carries between runs.
+
+    One instance describes the *last* submission: which query ran over
+    which table object, the content-hash partition id of every record
+    (so only appended records are fingerprinted), and the block-store
+    namespace holding the cached ``map_record`` element blocks.  The
+    per-run sample S is redrawn every release, so per-partition
+    *aggregates* are never reusable — the cache instead holds the
+    mapped elements and replays the identical fold, which is what makes
+    an incremental release bitwise-equal to a cold one.
+    """
+
+    __slots__ = (
+        "query", "tables", "records", "expected_len", "partition_ids",
+        "base_offset", "cache_rdd_id", "epoch", "block_records", "primed",
+    )
+
+    def __init__(
+        self,
+        query: MapReduceQuery,
+        tables: Tables,
+        records: List[Any],
+        partition_ids: List[int],
+        cache_rdd_id: int,
+    ):
+        self.query = query
+        self.tables = tables
+        #: the live protected-table list, identity-checked each run so
+        #: any mutation outside append()/retire() forces a cold run.
+        self.records = records
+        self.expected_len = len(records)
+        self.partition_ids = partition_ids
+        #: absolute index of records[0] (grows with every retire()).
+        self.base_offset = 0
+        self.cache_rdd_id = cache_rdd_id
+        #: engine cache epoch the blocks were written under; a mismatch
+        #: (stop(), backend switch, worker respawn) invalidates them.
+        self.epoch: Any = None
+        self.block_records = _INCR_BLOCK_RECORDS
+        #: set by the first append()/retire(); plain repeated run()
+        #: calls stay on the cold path so their cost profile is
+        #: unchanged.
+        self.primed = False
+
+    def matches(self, query: MapReduceQuery, tables: Tables) -> bool:
+        """True iff this state still describes the submission."""
+        records = tables.get(query.protected_table)
+        return (
+            query is self.query
+            and tables is self.tables
+            and records is self.records
+            and len(records) == self.expected_len
+        )
+
+
 class UPASession:
     """Runs queries under epsilon-iDP with automatically inferred sensitivity.
 
@@ -258,6 +325,12 @@ class UPASession:
         self.ledger = ledger
         self._run_counter = 0
         self._answer_cache: dict = {}
+        #: last-run bookkeeping backing append()/retire(); None until
+        #: the first run() completes.
+        self._incr: Optional[_IncrementalState] = None
+        #: stats of the last release's incremental phase (None when the
+        #: release ran cold); surfaced through the ledger header.
+        self._last_incremental: Optional[dict] = None
         #: query classes already cleared by the strict-mode static gate.
         self._lint_cleared: set = set()
         #: alert engine wired by serve() (or attach_alerts()); None
@@ -351,6 +424,7 @@ class UPASession:
             # Auto-wire the engine (scheduler spans + job listener) so
             # one tracer sees the pipeline end to end.
             self.engine.install_tracer(tracer)
+        self._last_incremental = None
         cache_key = None
         if self.config.answer_cache:
             cache_key = self._cache_key(query, tables, epsilon)
@@ -432,6 +506,81 @@ class UPASession:
         )
         return result
 
+    def append(
+        self,
+        records: List[Any],
+        epsilon: Optional[float] = None,
+    ) -> UPAResult:
+        """Grow the last run's protected table and release a new answer.
+
+        The appended records are added to the table submitted to the
+        previous :meth:`run` and the same query is answered again over
+        the grown dataset.  This is a *new release*: it charges a fresh
+        ``epsilon`` through the accountant and ledger exactly like a
+        cold run, and under fixed seeds the output is bitwise identical
+        to re-running the query cold over the grown table.  What the
+        incremental path saves is recomputation — cached content-hash
+        partition ids and ``map_record`` element blocks mean only the
+        appended records are fingerprinted and mapped (for queries with
+        ``incremental_safe``; others recompute elements but still skip
+        nothing else of the pipeline).
+        """
+        incr = self._require_incremental("append")
+        new_records = list(records)
+        if not new_records:
+            raise DPError("append() needs at least one record")
+        incr.records.extend(new_records)
+        incr.partition_ids.extend(partition_of(r) for r in new_records)
+        incr.expected_len = len(incr.records)
+        incr.primed = True
+        self.engine.metrics.incr(MetricsRegistry.INCR_APPENDS)
+        return self.run(incr.query, incr.tables, epsilon)
+
+    def retire(
+        self,
+        count: int,
+        epsilon: Optional[float] = None,
+    ) -> UPAResult:
+        """Drop the ``count`` oldest records (sliding window) and release.
+
+        The complement of :meth:`append`: the oldest ``count`` records
+        leave the protected table and the query is answered again over
+        the shrunk dataset, charging a fresh ``epsilon`` per release.
+        Element blocks use absolute indexing, so only the block
+        straddling the new window start is remapped.
+        """
+        incr = self._require_incremental("retire")
+        if count <= 0:
+            raise DPError(
+                f"retire() count must be a positive int, got {count!r}"
+            )
+        if count >= len(incr.records):
+            raise DPError(
+                f"retire({count}) would empty the protected table "
+                f"({len(incr.records)} records)"
+            )
+        del incr.records[:count]
+        del incr.partition_ids[:count]
+        incr.base_offset += count
+        incr.expected_len = len(incr.records)
+        incr.primed = True
+        self.engine.metrics.incr(MetricsRegistry.INCR_RETIRES)
+        return self.run(incr.query, incr.tables, epsilon)
+
+    def _require_incremental(self, op: str) -> "_IncrementalState":
+        incr = self._incr
+        if incr is None:
+            raise DPError(
+                f"{op}() requires a completed run() on this session first"
+            )
+        table = incr.tables.get(incr.query.protected_table)
+        if table is not incr.records or len(table) != incr.expected_len:
+            raise DPError(
+                f"{op}(): the protected table changed outside "
+                "append()/retire(); submit it through run() again"
+            )
+        return incr
+
     def _record_ledger(
         self,
         query: MapReduceQuery,
@@ -458,6 +607,7 @@ class UPASession:
         # a processes-backend run must be distinguishable from a
         # threads run (the DP outputs are bitwise identical, the
         # operational story is not).
+        incremental = self._last_incremental
         ledger.update_header(
             sql_plan_cache_hits=int(
                 metrics.get(MetricsRegistry.SQL_PLAN_CACHE_HITS)
@@ -465,8 +615,21 @@ class UPASession:
             sql_plan_cache_misses=int(
                 metrics.get(MetricsRegistry.SQL_PLAN_CACHE_MISSES)
             ),
+            sql_plan_cache_evictions=int(
+                metrics.get(MetricsRegistry.SQL_PLAN_CACHE_EVICTIONS)
+            ),
             backend=self.engine.scheduler.backend,
             max_workers=self.engine.config.max_workers,
+            incremental=incremental is not None,
+            incremental_blocks_reused=(
+                int(incremental["blocks_reused"]) if incremental else 0
+            ),
+            incremental_partitions_recomputed=(
+                int(incremental["blocks_recomputed"]) if incremental else 0
+            ),
+            incremental_delta_fraction=(
+                float(incremental["delta_fraction"]) if incremental else 0.0
+            ),
         )
         spent = remaining = None
         if self.accountant is not None:
@@ -615,19 +778,46 @@ class UPASession:
         self._run_counter += 1
         tracer = self.tracer
         rng = make_rng(self.config.seed, f"upa-run-{self._run_counter}")
+        incr = self._incr
+        use_incr = (
+            incr is not None
+            and incr.primed
+            and self.config.reuse_intermediate
+            and incr.matches(query, tables)
+        )
+        if incr is not None and incr.primed and not use_incr:
+            # The cached state no longer describes this submission
+            # (different query, externally mutated table, or the
+            # no-reuse ablation): run cold and rebuild below.
+            self.engine.metrics.incr(MetricsRegistry.INCR_INVALIDATIONS)
         with tracer.span(
             "phase:partition_sample", query=query.name,
             sample_size=self.config.sample_size,
         ) if tracer.enabled else NULL_SPAN as sample_span:
             sample = partition_and_sample(
-                query, tables, self.config.sample_size, rng
+                query, tables, self.config.sample_size, rng,
+                partition_ids=incr.partition_ids if use_incr else None,
             )
             sample_span.set_attribute("sampled", sample.sample_size)
+            sample_span.set_attribute("incremental", bool(use_incr))
         aux = query.build_aux(tables)
+        remaining_elements = None
+        self._last_incremental = None
+        if use_incr:
+            with tracer.span(
+                "phase:incremental_delta", query=query.name,
+            ) if tracer.enabled else NULL_SPAN as delta_span:
+                remaining_elements, stats = self._incremental_elements(
+                    incr, query, aux, sample
+                )
+                self._last_incremental = stats
+                for key, value in stats.items():
+                    delta_span.set_attribute(key, value)
         state, removal, addition, plain = self._reduce_phase(
-            query, aux, sample, rng
+            query, aux, sample, rng, remaining_elements
         )
         population = len(tables[query.protected_table]) + sample.sample_size
+        self._remember_run(query, tables, sample)
         return _ReducedRun(
             state=state,
             removal=removal,
@@ -636,6 +826,121 @@ class UPASession:
             population=population,
             sample=sample,
         )
+
+    def _remember_run(
+        self, query: MapReduceQuery, tables: Tables,
+        sample: PartitionedSample,
+    ) -> None:
+        """Refresh append()/retire() bookkeeping after a run.
+
+        A matching state continues (append() already maintained its
+        partition ids); anything else — first run, new query, new
+        tables — replaces the state and evicts the old element blocks.
+        The partition ids were computed by this run regardless, so the
+        cold path's cost profile is unchanged.
+        """
+        incr = self._incr
+        if incr is not None and incr.matches(query, tables):
+            return
+        if incr is not None:
+            self.engine.block_store.evict_rdd(incr.cache_rdd_id)
+        self._incr = _IncrementalState(
+            query, tables, tables[query.protected_table],
+            sample.partition_ids, self.engine.reserve_cache_id(),
+        )
+
+    def _incremental_elements(
+        self,
+        incr: "_IncrementalState",
+        query: MapReduceQuery,
+        aux: Any,
+        sample: PartitionedSample,
+    ) -> Tuple[Tuple[List[Any], List[Any]], dict]:
+        """Assemble the mapped elements of S' from cached blocks.
+
+        Element blocks live in the engine's block store, keyed by
+        ``(cache namespace, absolute block index)`` and tagged with the
+        engine's :meth:`~repro.engine.context.EngineContext.cache_epoch`
+        — a block written before a backend switch, worker respawn or
+        ``stop()`` reads as a miss and is remapped, never merged stale.
+        Only ``incremental_safe`` queries reuse blocks; others (aux
+        reads the protected table, so old elements may be wrong under
+        the new aux) remap everything each release, which still yields
+        the bitwise-identical answer, just without the speedup.
+        """
+        engine = self.engine
+        metrics = engine.metrics
+        store = engine.block_store
+        records = incr.records
+        cacheable = query.incremental_safe
+        epoch = engine.cache_epoch()
+        if incr.epoch is not None and epoch != incr.epoch:
+            metrics.incr(MetricsRegistry.INCR_INVALIDATIONS)
+        incr.epoch = epoch
+        base = incr.base_offset
+        total = len(records)
+        size = incr.block_records
+        elements: List[Any] = []
+        hits = misses = reused = mapped = 0
+        for b in range(base // size, (base + total - 1) // size + 1):
+            lo = max(b * size, base)
+            hi = min((b + 1) * size, base + total)
+            key = (incr.cache_rdd_id, b)
+            stored = store.get_tagged(key, epoch) if cacheable else None
+            if stored is not None:
+                abs_start, cached = stored
+                covered = abs_start + len(cached)
+                if abs_start <= lo and covered >= hi:
+                    elements.extend(cached[lo - abs_start:hi - abs_start])
+                    hits += 1
+                    reused += hi - lo
+                    continue
+                if abs_start <= lo < covered:
+                    # Tail block grown by append(): reuse the cached
+                    # prefix, map only the new records.
+                    elements.extend(cached[lo - abs_start:])
+                    fresh = [
+                        query.map_record(records[i - base], aux)
+                        for i in range(covered, hi)
+                    ]
+                    elements.extend(fresh)
+                    reused += covered - lo
+                    mapped += hi - covered
+                    misses += 1
+                    store.put_tagged(key, epoch, (abs_start, cached + fresh))
+                    continue
+            misses += 1
+            fresh = [
+                query.map_record(records[i - base], aux)
+                for i in range(lo, hi)
+            ]
+            mapped += hi - lo
+            elements.extend(fresh)
+            if cacheable:
+                store.put_tagged(key, epoch, (lo, fresh))
+        metrics.incr(MetricsRegistry.INCR_BLOCK_HITS, hits)
+        metrics.incr(MetricsRegistry.INCR_BLOCK_MISSES, misses)
+        metrics.incr(MetricsRegistry.INCR_RECORDS_REUSED, reused)
+        metrics.incr(MetricsRegistry.INCR_RECORDS_MAPPED, mapped)
+        delta_fraction = mapped / total if total else 0.0
+        metrics.set_gauge(MetricsRegistry.INCR_DELTA_FRACTION, delta_fraction)
+
+        # Split into the S' element lists, mirroring how
+        # partition_and_sample splits the records themselves — same
+        # order, same partitions, minus the sampled indices.
+        sampled_set = set(sample.sampled_indices)
+        remaining: Tuple[List[Any], List[Any]] = ([], [])
+        for i, pid in enumerate(sample.partition_ids):
+            if i not in sampled_set:
+                remaining[pid].append(elements[i])
+        stats = {
+            "blocks_reused": hits,
+            "blocks_recomputed": misses,
+            "records_reused": reused,
+            "records_mapped": mapped,
+            "delta_fraction": delta_fraction,
+        }
+        return remaining, stats
 
     def _randomize(self, value, sensitivity: float, epsilon: float):
         """Noise the output with the configured mechanism.
@@ -662,25 +967,44 @@ class UPASession:
         aux: Any,
         sample: PartitionedSample,
         rng: random.Random,
+        remaining_elements: Optional[Tuple[List[Any], List[Any]]] = None,
     ) -> Tuple[_PipelineState, np.ndarray, np.ndarray, np.ndarray]:
         tracer = self.tracer
         metrics = self.engine.metrics
         with tracer.span("phase:map", query=query.name) if tracer.enabled \
                 else NULL_SPAN:
-            aux_b = self.engine.broadcast(aux)
-            mapper = _RecordMapper(query, aux_b)
+            mapper = None
 
             # Parallel Map + per-partition reduce of S' (ReduceByPar,
             # Alg.1 l.7).
             r_sprime_parts: List[Any] = []
-            for p in range(2):
-                rdd = self.engine.parallelize(
-                    sample.remaining[p], max(1, self.config.engine_partitions)
-                )
-                r_sprime_parts.append(
-                    rdd.map(mapper).aggregate(query.zero(), query.combine,
-                                              query.combine)
-                )
+            if remaining_elements is not None:
+                # Incremental fast path: S' is already mapped (cached
+                # element blocks).  Feeding the elements through the
+                # same parallelize + aggregate pipeline reproduces the
+                # cold run's partition slicing and fold order exactly,
+                # so the per-partition aggregates are bitwise equal.
+                for p in range(2):
+                    rdd = self.engine.parallelize(
+                        remaining_elements[p],
+                        max(1, self.config.engine_partitions),
+                    )
+                    r_sprime_parts.append(
+                        rdd.aggregate(query.zero(), query.combine,
+                                      query.combine)
+                    )
+            else:
+                aux_b = self.engine.broadcast(aux)
+                mapper = _RecordMapper(query, aux_b)
+                for p in range(2):
+                    rdd = self.engine.parallelize(
+                        sample.remaining[p],
+                        max(1, self.config.engine_partitions),
+                    )
+                    r_sprime_parts.append(
+                        rdd.map(mapper).aggregate(query.zero(), query.combine,
+                                                  query.combine)
+                    )
             r_sprime = query.combine(r_sprime_parts[0], r_sprime_parts[1])
 
             # S and S-bar are small (n records each) and already live on

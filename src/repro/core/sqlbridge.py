@@ -466,6 +466,8 @@ def _compile_dynamic(
             )
             while len(_bridge_cache) > _BRIDGE_CACHE_SIZE:
                 _bridge_cache.popitem(last=False)
+                if metrics is not None:
+                    metrics.incr(MetricsRegistry.SQL_PLAN_CACHE_EVICTIONS)
     return dynamic
 
 

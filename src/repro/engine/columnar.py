@@ -86,13 +86,19 @@ class ColumnarPartition:
 
     Attributes:
         names: column names, in stable (first-row) order.
+        version: partition-version tag.  Structural operations (slice/
+            select/take/compress) and pickling preserve it; callers that
+            cache derived blocks (see ``BlockStore.put_tagged``) bump it
+            when the underlying table is re-registered so stale cached
+            partitions read as misses instead of being merged.
     """
 
-    __slots__ = ("_columns", "names", "_length")
+    __slots__ = ("_columns", "names", "_length", "version")
 
     def __init__(self, columns: Dict[str, Any], length: Optional[int] = None,
-                 names: Optional[Sequence[str]] = None):
+                 names: Optional[Sequence[str]] = None, version: int = 0):
         self._columns = dict(columns)
+        self.version = int(version)
         self.names: Tuple[str, ...] = tuple(
             names if names is not None else columns.keys()
         )
@@ -132,6 +138,13 @@ class ColumnarPartition:
             for name in names
         }
         return cls(columns, length=len(rows), names=names)
+
+    def with_version(self, version: int) -> "ColumnarPartition":
+        """The same partition (shared buffers) under a new version tag."""
+        return ColumnarPartition(
+            self._columns, length=self._length, names=self.names,
+            version=version,
+        )
 
     @classmethod
     def empty_like(cls, other: "ColumnarPartition") -> "ColumnarPartition":
@@ -183,7 +196,8 @@ class ColumnarPartition:
             name: buf[start:stop] for name, buf in self._columns.items()
         }
         return ColumnarPartition(
-            columns, length=max(0, stop - start), names=self.names
+            columns, length=max(0, stop - start), names=self.names,
+            version=self.version,
         )
 
     def select(
@@ -199,6 +213,7 @@ class ColumnarPartition:
             {out: self._columns[src] for out, src in names},
             length=self._length,
             names=[out for out, _src in names],
+            version=self.version,
         )
 
     def take(self, indices: Sequence[int]) -> "ColumnarPartition":
@@ -212,7 +227,8 @@ class ColumnarPartition:
                 columns[name] = type(buf)(
                     buf.typecode, [buf[i] for i in idx]
                 ) if isinstance(buf, array) else [buf[i] for i in idx]
-        return ColumnarPartition(columns, length=len(idx), names=self.names)
+        return ColumnarPartition(columns, length=len(idx), names=self.names,
+                                 version=self.version)
 
     def compress(self, mask: Any) -> "ColumnarPartition":
         """Keep rows where ``mask`` (boolean array/sequence) is true."""
@@ -227,7 +243,8 @@ class ColumnarPartition:
                         v for v, keep in zip(buf, mask) if keep
                     ]
             return ColumnarPartition(
-                columns, length=int(mask.sum()), names=self.names
+                columns, length=int(mask.sum()), names=self.names,
+                version=self.version,
             )
         keep = [i for i, flag in enumerate(mask) if flag]
         return self.take(keep)
@@ -293,7 +310,8 @@ class ColumnarPartition:
                     and buf.base is not None:
                 buf = buf.copy()
             columns[name] = buf
-        return (_rebuild_partition, (columns, self._length, self.names))
+        return (_rebuild_partition,
+                (columns, self._length, self.names, self.version))
 
     def __repr__(self) -> str:
         return (
@@ -309,8 +327,9 @@ def _unbox(value: Any) -> Any:
     return value
 
 
-def _rebuild_partition(columns, length, names):
-    return ColumnarPartition(columns, length=length, names=names)
+def _rebuild_partition(columns, length, names, version=0):
+    return ColumnarPartition(columns, length=length, names=names,
+                             version=version)
 
 
 def as_rows(records: Any) -> Sequence[Row]:

@@ -55,10 +55,24 @@ class EngineContext:
         self.obs_server = None
         self._rdd_ids = itertools.count(1)
         self._lock = threading.Lock()
+        #: bumped by every stop(); part of cache_epoch() so derived
+        #: caches (incremental partials) cannot survive a lifecycle
+        #: clear-and-restart unnoticed.
+        self._stop_generation = 0
 
     def _next_rdd_id(self) -> int:
         with self._lock:
             return next(self._rdd_ids)
+
+    def reserve_cache_id(self) -> int:
+        """Reserve a block-store namespace id.
+
+        Drawn from the same counter as RDD ids, so callers that cache
+        derived data directly in the block store (e.g. the incremental
+        session's mapped-element blocks) can never collide with a
+        cached RDD's partitions.
+        """
+        return self._next_rdd_id()
 
     # ------------------------------------------------------------------
     # RDD creation
@@ -162,6 +176,28 @@ class EngineContext:
         """The installed job event listener, if any."""
         return self.scheduler.job_listener
 
+    @property
+    def stop_generation(self) -> int:
+        """How many times this context has been stop()ped."""
+        return self._stop_generation
+
+    def cache_epoch(self) -> tuple:
+        """Version tag for caches of *derived* engine data.
+
+        Combines the stop generation, the executor backend and the
+        worker-respawn count: any of them changing means partials
+        computed under the old execution regime must not be merged
+        with new ones (a respawned process pool, a backend switch or a
+        stopped-and-restarted context may have lost or changed ambient
+        state).  Callers stamp cached blocks with this tuple via
+        :meth:`BlockStore.put_tagged` and a mismatch reads as a miss.
+        """
+        return (
+            self._stop_generation,
+            self.scheduler.backend,
+            int(self.metrics.get(MetricsRegistry.WORKER_RESPAWNS)),
+        )
+
     def clear_shuffle_state(self) -> None:
         """Drop stored shuffle outputs (frees memory between experiments)."""
         self.shuffle_manager.clear()
@@ -211,6 +247,7 @@ class EngineContext:
         self.scheduler.shutdown()
         self.shuffle_manager.clear()
         self.block_store.clear()
+        self._stop_generation += 1
 
     def __enter__(self) -> "EngineContext":
         return self

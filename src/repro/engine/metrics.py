@@ -182,6 +182,10 @@ class MetricsRegistry:
     #: Counter names used by the SQL layer (plan cache + join planning).
     SQL_PLAN_CACHE_HITS = "sql.plan_cache.hits"
     SQL_PLAN_CACHE_MISSES = "sql.plan_cache.misses"
+    #: entries pushed out of the bounded plan/bridge caches by the LRU
+    #: cap (lifecycle clears are not evictions, same convention as
+    #: CACHE_EVICTIONS).
+    SQL_PLAN_CACHE_EVICTIONS = "sql.plan_cache.evictions"
     SQL_JOIN_BROADCAST = "sql.join.broadcast"
     SQL_JOIN_SHUFFLE = "sql.join.shuffle"
     #: rows entering a columnar fused stage vs rows actually boxed into
@@ -189,6 +193,23 @@ class MetricsRegistry:
     #: boxing reduction the vectorized filters bought.
     SQL_COLUMNAR_ROWS_SCANNED = "sql.columnar.rows_scanned"
     SQL_COLUMNAR_ROWS_BOXED = "sql.columnar.rows_boxed"
+
+    #: Counter names used by the incremental session path
+    #: (UPASession.append / retire — see docs/performance.md).
+    INCR_APPENDS = "incremental.appends"
+    INCR_RETIRES = "incremental.retires"
+    #: element blocks served from / recomputed into the block store.
+    INCR_BLOCK_HITS = "incremental.block_hits"
+    INCR_BLOCK_MISSES = "incremental.block_misses"
+    #: records whose mapped element was reused vs freshly mapped.
+    INCR_RECORDS_REUSED = "incremental.records_reused"
+    INCR_RECORDS_MAPPED = "incremental.records_mapped"
+    #: whole-cache invalidations (engine epoch change, external table
+    #: mutation, query switch).
+    INCR_INVALIDATIONS = "incremental.invalidations"
+    #: gauge: freshly mapped records / total records of the last
+    #: incremental release (1.0 = effectively a cold run).
+    INCR_DELTA_FRACTION = "incremental.delta_fraction"
 
     #: Histogram names used by the engine and the UPA pipeline.
     TASK_SECONDS = "task_seconds"

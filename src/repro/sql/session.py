@@ -107,6 +107,9 @@ class SQLSession:
             self._plan_cache[key] = rdd
             while len(self._plan_cache) > self.plan_cache_size:
                 self._plan_cache.popitem(last=False)
+                self.engine.metrics.incr(
+                    MetricsRegistry.SQL_PLAN_CACHE_EVICTIONS
+                )
         return rdd
 
     def _plan_cache_key(self, plan: LogicalPlan) -> Optional[tuple]:

@@ -153,6 +153,22 @@ CODE_REGISTRY: Dict[str, CodeInfo] = {
             "the process_fallbacks metric), forfeiting the multi-core "
             "speedup the backend exists for.",
         ),
+        CodeInfo(
+            "UPA015", "stateful-monoid-on-incremental-path",
+            Severity.ERROR,
+            "A monoid method (or batched kernel) mutates state captured "
+            "from outside the call — a free variable it closed over, a "
+            "module-level container, or a mutable default argument. "
+            "Such state survives between calls, and the incremental "
+            "session path (UPASession.append/retire) makes that fatal "
+            "rather than merely fragile: cached map_record element "
+            "blocks are replayed from the engine's block store instead "
+            "of re-invoking the mapper, so any accumulation the method "
+            "performs diverges from a cold run and the "
+            "bitwise-equivalence guarantee breaks. UPA002 covers "
+            "mutation of self and explicit global/nonlocal "
+            "declarations; this check covers the mutations those miss.",
+        ),
         # -- plan-stability pass (UPA1xx) ------------------------------
         CodeInfo(
             "UPA101", "unsupported-plan-operator", Severity.ERROR,

@@ -524,6 +524,175 @@ def _check_eval_loops(src: _MethodSource) -> Iterable[Diagnostic]:
         )
 
 
+#: ast default-value nodes that denote a freshly built mutable container.
+_MUTABLE_DEFAULT_NODES = (
+    ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp,
+)
+
+#: constructor names whose call as a default builds a mutable container.
+_MUTABLE_DEFAULT_CALLS = {
+    "list", "dict", "set", "bytearray", "deque", "defaultdict",
+    "OrderedDict", "Counter",
+}
+
+
+def _local_bindings(node: ast.AST) -> set:
+    """Names bound inside a function body (stores, imports, handlers)."""
+    bound: set = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Store):
+            bound.add(sub.id)
+        elif isinstance(
+            sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ) and sub is not node:
+            bound.add(sub.name)
+        elif isinstance(sub, ast.ExceptHandler) and sub.name:
+            bound.add(sub.name)
+        elif isinstance(sub, (ast.Import, ast.ImportFrom)):
+            for alias in sub.names:
+                bound.add((alias.asname or alias.name).split(".")[0])
+    return bound
+
+
+def _resolved_capture(src: _MethodSource, name: str) -> Any:
+    """The runtime object ``name`` resolves to in the method's scope.
+
+    Checks closure cells first, then the defining module's globals —
+    the two places a captured (non-local, non-parameter) name can live.
+    Returns None when unresolvable, which callers treat as "not
+    provably a module" (i.e. still suspicious).
+    """
+    raw = _unwrap_callable(src.func)
+    code = getattr(raw, "__code__", None)
+    closure = getattr(raw, "__closure__", None)
+    if code is not None and closure and name in code.co_freevars:
+        try:
+            return closure[code.co_freevars.index(name)].cell_contents
+        except ValueError:  # empty cell
+            return None
+    return getattr(raw, "__globals__", {}).get(name)
+
+
+def _mutable_default_params(node) -> set:
+    """Parameter names whose default value is a mutable container."""
+    import itertools as _it
+
+    suspects: set = set()
+    positional = list(node.args.posonlyargs) + list(node.args.args)
+    defaults = node.args.defaults
+    pairs = list(zip(positional[len(positional) - len(defaults):], defaults))
+    pairs.extend(
+        (a, d) for a, d in _it.zip_longest(
+            node.args.kwonlyargs, node.args.kw_defaults
+        ) if d is not None
+    )
+    for arg, default in pairs:
+        if isinstance(default, _MUTABLE_DEFAULT_NODES) or (
+            isinstance(default, ast.Call)
+            and isinstance(default.func, ast.Name)
+            and default.func.id in _MUTABLE_DEFAULT_CALLS
+        ):
+            suspects.add(arg.arg)
+    return suspects
+
+
+def _check_captured_state(src: _MethodSource) -> Iterable[Diagnostic]:
+    """UPA015: mutation of state captured from outside the call.
+
+    UPA002 flags mutation of ``self`` and explicit ``global``/
+    ``nonlocal`` declarations; this check covers what those miss —
+    writes through names that are neither parameters nor locals
+    (``CACHE.append(x)``, ``STATE[key] = v`` on a free variable or
+    module-level container) and mutation of mutable default arguments.
+    Both accumulate across calls, and the incremental session path
+    replays *cached* mapped elements instead of re-invoking the
+    method, so any such accumulation diverges from a cold run and
+    breaks append()'s bitwise-equivalence guarantee.
+    """
+    import inspect as _inspect
+
+    node = src.node
+    known = set(src.params) | _local_bindings(node)
+    known.update(("self", "cls"))
+    if node.args.vararg:
+        known.add(node.args.vararg.arg)
+    if node.args.kwarg:
+        known.add(node.args.kwarg.arg)
+    known.update(a.arg for a in node.args.kwonlyargs)
+
+    def captured(name: Optional[str]) -> bool:
+        if name is None or name in known:
+            return False
+        # A name resolving to a module (np, math, ...) is an API
+        # surface, not captured state: `np.add(a, b)` is not `np`
+        # being mutated.
+        return not _inspect.ismodule(_resolved_capture(src, name))
+
+    hint = (
+        "thread state through the monoid element or aux; the "
+        "incremental path replays cached elements, so cross-call "
+        "accumulation never re-executes"
+    )
+    for sub in ast.walk(node):
+        targets: Sequence[ast.AST] = ()
+        if isinstance(sub, ast.Assign):
+            targets = sub.targets
+        elif isinstance(sub, (ast.AugAssign, ast.AnnAssign)):
+            targets = (sub.target,) if sub.target is not None else ()
+        elif isinstance(sub, ast.Delete):
+            targets = sub.targets
+        for target in targets:
+            if isinstance(target, (ast.Attribute, ast.Subscript)):
+                root = _root_name(target)
+                if captured(root):
+                    yield make_diagnostic(
+                        "UPA015",
+                        f"{src.where()} writes into the captured name "
+                        f"`{root}`; state that outlives the call makes "
+                        "the monoid unsafe on the incremental "
+                        "append()/retire() path, which replays cached "
+                        "mapped elements instead of re-running it",
+                        file=src.file,
+                        line=src.line_of(sub),
+                        obj=src.owner_name,
+                        hint=hint,
+                        pass_name=PASS,
+                    )
+        if isinstance(sub, ast.Call) and isinstance(
+            sub.func, ast.Attribute
+        ) and sub.func.attr in _MUTATOR_METHODS:
+            root = _root_name(sub.func.value)
+            if captured(root):
+                yield make_diagnostic(
+                    "UPA015",
+                    f"{src.where()} calls the mutating method "
+                    f".{sub.func.attr}() on the captured name "
+                    f"`{root}`; cross-call accumulation diverges from "
+                    "a cold run once append()/retire() replays cached "
+                    "elements",
+                    file=src.file,
+                    line=src.line_of(sub),
+                    obj=src.owner_name,
+                    hint=hint,
+                    pass_name=PASS,
+                )
+    for param in _mutable_default_params(node):
+        for sub, what in _argument_mutations(src, param):
+            yield make_diagnostic(
+                "UPA015",
+                f"{src.where()} {what}, and `{param}` defaults to a "
+                "mutable container — the default is created once and "
+                "shared across every call, so it accumulates state "
+                "exactly like a captured global",
+                file=src.file,
+                line=src.line_of(sub),
+                obj=src.owner_name,
+                hint="use None as the default and build the container "
+                "inside the call",
+                pass_name=PASS,
+            )
+
+
 def _check_build_aux(
     src: _MethodSource, protected: str, declared: bool
 ) -> Iterable[Diagnostic]:
@@ -597,6 +766,7 @@ def _check_batch_kernels(
             continue
         yield from _check_obs_calls(src)
         yield from _check_server_calls(src)
+        yield from _check_captured_state(src)
         if _resolve_method(cls, partner) is None:
             yield make_diagnostic(
                 "UPA010",
@@ -661,6 +831,7 @@ def check_query(query: Any) -> List[Diagnostic]:
             continue
         diagnostics.extend(_check_nondeterminism(src))
         diagnostics.extend(_check_state_mutation(src))
+        diagnostics.extend(_check_captured_state(src))
         diagnostics.extend(_check_obs_calls(src))
         diagnostics.extend(_check_server_calls(src))
         diagnostics.extend(_check_eval_loops(src))

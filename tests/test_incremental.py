@@ -1,0 +1,497 @@
+"""Tests for the incremental session path (append/retire).
+
+The contract under test is the one the performance claim rests on:
+``session.append(records)`` / ``session.retire(count)`` release answers
+that are **bitwise identical** to cold re-runs over the same grown or
+shrunk dataset under fixed seeds — the incremental path may only skip
+recomputation, never change results.  The cold reference session always
+performs the same *sequence* of releases, so its per-run RNG streams
+(sample draw, noise) line up with the incremental session's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import EngineConfig
+from repro.common.errors import DPError
+from repro.core.session import UPAConfig, UPASession
+from repro.dp.budget import PrivacyAccountant
+from repro.engine.context import EngineContext
+from repro.engine.fault import FaultInjector
+from repro.engine.metrics import MetricsRegistry
+from repro.obs.ledger import PrivacyLedger
+from repro.workloads import all_workloads, workload_by_name
+
+SEED = 11
+SAMPLE = 60
+
+
+def _engine(backend=None, partitions=2):
+    if backend is None:
+        return None
+    return EngineContext(EngineConfig(
+        backend=backend, max_workers=2, default_parallelism=partitions,
+    ))
+
+
+def _session(backend=None, **config):
+    config.setdefault("seed", SEED)
+    config.setdefault("sample_size", SAMPLE)
+    cfg = UPAConfig(**config)
+    return UPASession(cfg, engine=_engine(backend))
+
+
+def _grown_tables(workload, scale_rows, delta_frac=0.1):
+    """(tables with the protected tail held back, the held-back records).
+
+    Everything is generated once, then the last ``delta_frac`` of the
+    *protected* table is held back for appending — the base prefix and
+    the appended tail are rows of one coherent dataset.  Sizing by
+    fraction matters because workloads protect different tables whose
+    row counts scale differently from ``scale_rows``.
+    """
+    tables = workload.make_tables(scale_rows, SEED)
+    protected = workload.query.protected_table
+    records = tables[protected]
+    delta_n = max(2, int(len(records) * delta_frac))
+    delta = records[-delta_n:]
+    del records[-delta_n:]
+    return tables, delta
+
+
+def _fresh_copy(tables, protected):
+    return {
+        name: (list(rows) if name == protected else rows)
+        for name, rows in tables.items()
+    }
+
+
+def _assert_results_equal(a, b):
+    np.testing.assert_array_equal(a.noisy_output, b.noisy_output)
+    np.testing.assert_array_equal(a.plain_output, b.plain_output)
+    np.testing.assert_array_equal(a.removal_outputs, b.removal_outputs)
+    np.testing.assert_array_equal(a.addition_outputs, b.addition_outputs)
+    assert a.local_sensitivity == b.local_sensitivity
+
+
+def _paired_release(do_incr, do_cold):
+    """Run one release on both sessions and demand identical behavior.
+
+    Count-style workloads can produce an output matching a prior
+    release, sending RANGE ENFORCER into its separation loop, which may
+    legitimately exhaust the sample (a DPError) — on *both* paths.
+    Bitwise equivalence therefore means: same result, or the same
+    failure.
+    """
+    try:
+        r_i = do_incr()
+    except DPError as exc:
+        with pytest.raises(DPError, match="RANGE ENFORCER"):
+            do_cold()
+        assert "RANGE ENFORCER" in str(exc)
+        return None
+    r_c = do_cold()
+    _assert_results_equal(r_i, r_c)
+    return r_i
+
+
+class TestAppendRetireEquivalence:
+    @pytest.mark.parametrize(
+        "name", [w.name for w in all_workloads()]
+    )
+    def test_bitwise_equal_to_cold_rerun(self, name):
+        """run+append+retire == three cold releases, for all nine
+        workloads (inline backend, small scale)."""
+        workload = workload_by_name(name)
+        protected = workload.query.protected_table
+        tables, delta = _grown_tables(workload, 400)
+        retire_n = max(1, len(delta) // 2)
+
+        incr = _session()
+        cold = _session()
+        tab_i = _fresh_copy(tables, protected)
+        tab_c = _fresh_copy(tables, protected)
+
+        _paired_release(
+            lambda: incr.run(workload.query, tab_i),
+            lambda: cold.run(workload.query, tab_c),
+        )
+
+        tab_c[protected].extend(delta)
+        _paired_release(
+            lambda: incr.append(delta),
+            lambda: cold.run(workload.query, tab_c),
+        )
+
+        del tab_c[protected][:retire_n]
+        _paired_release(
+            lambda: incr.retire(retire_n),
+            lambda: cold.run(workload.query, tab_c),
+        )
+
+    @pytest.mark.parametrize("backend", ["inline", "threads", "processes"])
+    def test_backends_bitwise_equal(self, backend):
+        """tpch6 append path on every executor backend."""
+        workload = workload_by_name("tpch6")
+        protected = workload.query.protected_table
+        tables, delta = _grown_tables(workload, 1500, 0.04)
+
+        incr = _session(backend=backend)
+        cold = _session(backend=backend)
+        try:
+            tab_i = _fresh_copy(tables, protected)
+            tab_c = _fresh_copy(tables, protected)
+            incr.run(workload.query, tab_i)
+            cold.run(workload.query, tab_c)
+            half = len(delta) // 2
+            r_i = incr.append(delta[:half])
+            tab_c[protected].extend(delta[:half])
+            r_c = cold.run(workload.query, tab_c)
+            _assert_results_equal(r_i, r_c)
+            # Second append actually reuses cached element blocks.
+            r_i = incr.append(delta[half:])
+            tab_c[protected].extend(delta[half:])
+            r_c = cold.run(workload.query, tab_c)
+            _assert_results_equal(r_i, r_c)
+            assert incr._last_incremental["records_reused"] > 0
+            assert incr._last_incremental["delta_fraction"] < 0.1
+        finally:
+            incr.engine.stop()
+            cold.engine.stop()
+
+    def test_block_reuse_metrics(self, monkeypatch):
+        # Shrink the block size so the base spans many blocks and the
+        # second append gets full-coverage hits on all but the tail.
+        from repro.core import session as session_mod
+
+        monkeypatch.setattr(session_mod, "_INCR_BLOCK_RECORDS", 128)
+        workload = workload_by_name("tpch6")
+        protected = workload.query.protected_table
+        tables, delta = _grown_tables(workload, 800, 0.05)
+        base_len = len(tables[protected])
+        half = len(delta) // 2
+        session = _session()
+        session.run(workload.query, tables)
+        session.append(delta[:half])  # primes the element blocks
+        session.append(delta[half:])
+        m = session.engine.metrics
+        assert m.get(MetricsRegistry.INCR_APPENDS) == 2
+        assert m.get(MetricsRegistry.INCR_BLOCK_HITS) >= 1
+        assert m.get(MetricsRegistry.INCR_RECORDS_REUSED) >= base_len
+        assert m.get(MetricsRegistry.INCR_RECORDS_MAPPED) >= len(delta)
+        assert 0.0 < m.get_gauge(MetricsRegistry.INCR_DELTA_FRACTION) < 0.1
+        # The table grew in place.
+        assert len(tables[protected]) == base_len + len(delta)
+
+    def test_reuse_intermediate_ablation_stays_cold(self):
+        """reuse_intermediate=False must bypass the incremental path."""
+        workload = workload_by_name("tpch6")
+        tables, delta = _grown_tables(workload, 300, 0.05)
+        session = _session(reuse_intermediate=False)
+        session.run(workload.query, tables)
+        result = session.append(delta)
+        assert result is not None
+        assert session._last_incremental is None
+
+    def test_append_requires_prior_run(self):
+        session = _session()
+        with pytest.raises(DPError, match="requires a completed run"):
+            session.append([{"v": 1.0}])
+
+    def test_append_rejects_empty_delta(self):
+        workload = workload_by_name("tpch6")
+        tables, _ = _grown_tables(workload, 300)
+        session = _session()
+        session.run(workload.query, tables)
+        with pytest.raises(DPError, match="at least one record"):
+            session.append([])
+
+    def test_retire_bounds_checked(self):
+        workload = workload_by_name("tpch6")
+        tables, _ = _grown_tables(workload, 300)
+        size = len(tables[workload.query.protected_table])
+        session = _session()
+        session.run(workload.query, tables)
+        with pytest.raises(DPError, match="positive"):
+            session.retire(0)
+        with pytest.raises(DPError, match="empty the protected table"):
+            session.retire(size)
+
+    def test_append_after_external_mutation_raises(self):
+        workload = workload_by_name("tpch6")
+        protected = workload.query.protected_table
+        tables, delta = _grown_tables(workload, 300, 0.05)
+        session = _session()
+        session.run(workload.query, tables)
+        tables[protected].append(delta[0])
+        with pytest.raises(DPError, match="changed outside"):
+            session.append(delta[1:])
+
+
+class TestBudgetAndLedger:
+    def test_each_release_charges_fresh_epsilon(self):
+        workload = workload_by_name("tpch6")
+        tables, delta = _grown_tables(workload, 800, 0.05)
+        half = len(delta) // 2
+        accountant = PrivacyAccountant(total_epsilon=1.0)
+        session = UPASession(
+            UPAConfig(seed=SEED, sample_size=SAMPLE),
+            accountant=accountant,
+        )
+        session.run(workload.query, tables, epsilon=0.1)
+        session.append(delta[:half], epsilon=0.2)
+        session.append(delta[half:], epsilon=0.3)
+        assert accountant.spent()[0] == pytest.approx(0.6)
+        assert accountant.remaining_epsilon() == pytest.approx(0.4)
+
+    def test_budget_exhaustion_stops_append(self):
+        workload = workload_by_name("tpch6")
+        tables, delta = _grown_tables(workload, 400, 0.05)
+        accountant = PrivacyAccountant(total_epsilon=0.15)
+        session = UPASession(
+            UPAConfig(seed=SEED, sample_size=SAMPLE),
+            accountant=accountant,
+        )
+        session.run(workload.query, tables, epsilon=0.1)
+        with pytest.raises(DPError):
+            session.append(delta, epsilon=0.1)
+
+    def test_ledger_records_incremental_releases(self):
+        workload = workload_by_name("tpch6")
+        tables, delta = _grown_tables(workload, 800, 0.05)
+        half = len(delta) // 2
+        ledger = PrivacyLedger()
+        session = UPASession(
+            UPAConfig(seed=SEED, sample_size=SAMPLE), ledger=ledger,
+        )
+        session.run(workload.query, tables, epsilon=0.1)
+        assert ledger.header["incremental"] is False
+        session.append(delta[:half], epsilon=0.1)
+        session.append(delta[half:], epsilon=0.1)
+        assert ledger.header["incremental"] is True
+        assert ledger.header["incremental_partitions_recomputed"] >= 1
+        assert 0.0 < ledger.header["incremental_delta_fraction"] < 0.1
+        assert "sql_plan_cache_evictions" in ledger.header
+        entries = ledger.entries()
+        assert len(entries) == 3
+        assert all(e.epsilon_charged == 0.1 for e in entries)
+
+
+class TestInvalidation:
+    def test_stop_invalidates_cached_partials(self):
+        """EngineContext.stop() between releases: the next append must
+        recompute, never merge pre-stop partials, and stay bitwise
+        equal to a cold rerun."""
+        workload = workload_by_name("tpch6")
+        protected = workload.query.protected_table
+        tables, delta = _grown_tables(workload, 500)
+        half = len(delta) // 2
+
+        incr = _session()
+        cold = _session()
+        tab_i = _fresh_copy(tables, protected)
+        tab_c = _fresh_copy(tables, protected)
+        incr.run(workload.query, tab_i)
+        cold.run(workload.query, tab_c)
+        incr.append(delta[:half])
+        tab_c[protected].extend(delta[:half])
+        cold.run(workload.query, tab_c)
+
+        incr.engine.stop()  # clears the block store, bumps the epoch
+        invalidations_before = incr.engine.metrics.get(
+            MetricsRegistry.INCR_INVALIDATIONS
+        )
+        r_i = incr.append(delta[half:])
+        tab_c[protected].extend(delta[half:])
+        r_c = cold.run(workload.query, tab_c)
+        _assert_results_equal(r_i, r_c)
+        assert incr.engine.metrics.get(
+            MetricsRegistry.INCR_INVALIDATIONS
+        ) > invalidations_before
+        # Everything was remapped: nothing could be reused post-stop.
+        assert incr._last_incremental["records_reused"] == 0
+
+    def test_respawn_never_merges_stale_partials(self):
+        """Simulated worker respawn (what the scheduler does after
+        BrokenProcessPool) plus deliberately poisoned pre-respawn
+        blocks: the poison must be unreachable."""
+        workload = workload_by_name("tpch6")
+        protected = workload.query.protected_table
+        tables, delta = _grown_tables(workload, 500)
+        half = len(delta) // 2
+
+        incr = _session()
+        cold = _session()
+        tab_i = _fresh_copy(tables, protected)
+        tab_c = _fresh_copy(tables, protected)
+        incr.run(workload.query, tab_i)
+        cold.run(workload.query, tab_c)
+        incr.append(delta[:half])
+        tab_c[protected].extend(delta[:half])
+        cold.run(workload.query, tab_c)
+
+        # Poison every cached element block under the old epoch, then
+        # respawn.  If the epoch tag failed to invalidate, the poison
+        # would flow into the next release's aggregates.
+        state = incr._incr
+        old_epoch = incr.engine.cache_epoch()
+        store = incr.engine.block_store
+        for b in range(0, 4):
+            if store.contains((state.cache_rdd_id, b)):
+                store.put_tagged(
+                    (state.cache_rdd_id, b), old_epoch,
+                    (b * state.block_records, [1e18] * 8),
+                )
+        incr.engine.metrics.incr(MetricsRegistry.WORKER_RESPAWNS)
+
+        r_i = incr.append(delta[half:])
+        tab_c[protected].extend(delta[half:])
+        r_c = cold.run(workload.query, tab_c)
+        _assert_results_equal(r_i, r_c)
+        assert incr._last_incremental["records_reused"] == 0
+
+    def test_fault_injection_equivalence(self):
+        """Injected task failures (threads backend, retried from
+        lineage) must not perturb an incremental release."""
+        workload = workload_by_name("tpch6")
+        protected = workload.query.protected_table
+        tables, delta = _grown_tables(workload, 800, 0.05)
+
+        plain = _session(backend="threads")
+        faulty = _session(backend="threads")
+        faulty.engine.install_fault_injector(
+            FaultInjector(failure_probability=0.25, max_failures=3, seed=5)
+        )
+        try:
+            tab_p = _fresh_copy(tables, protected)
+            tab_f = _fresh_copy(tables, protected)
+            plain.run(workload.query, tab_p)
+            faulty.run(workload.query, tab_f)
+            r_p = plain.append(delta)
+            r_f = faulty.append(delta)
+            _assert_results_equal(r_p, r_f)
+        finally:
+            plain.engine.stop()
+            faulty.engine.stop()
+
+    def test_external_mutation_falls_back_to_cold_run(self):
+        """Mutating the table outside append() must not corrupt run():
+        the session detects it and reruns cold, still bitwise equal."""
+        workload = workload_by_name("tpch6")
+        protected = workload.query.protected_table
+        tables, delta = _grown_tables(workload, 800, 0.05)
+        half = len(delta) // 2
+
+        incr = _session()
+        cold = _session()
+        tab_i = _fresh_copy(tables, protected)
+        tab_c = _fresh_copy(tables, protected)
+        incr.run(workload.query, tab_i)
+        cold.run(workload.query, tab_c)
+        incr.append(delta[:half])  # primes the incremental state
+        tab_c[protected].extend(delta[:half])
+        cold.run(workload.query, tab_c)
+
+        tab_i[protected].extend(delta[half:])  # behind the session's back
+        tab_c[protected].extend(delta[half:])
+        r_i = incr.run(workload.query, tab_i)
+        r_c = cold.run(workload.query, tab_c)
+        _assert_results_equal(r_i, r_c)
+        assert incr._last_incremental is None  # ran cold
+        assert incr.engine.metrics.get(
+            MetricsRegistry.INCR_INVALIDATIONS
+        ) >= 1
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        ops=st.lists(
+            st.one_of(
+                st.tuples(st.just("append"), st.integers(1, 30)),
+                st.tuples(st.just("retire"), st.integers(1, 40)),
+                st.tuples(st.just("stop"), st.just(0)),
+            ),
+            min_size=1, max_size=5,
+        )
+    )
+    def test_random_append_retire_sequences_bitwise_equal(self, ops):
+        """Property: any interleaving of append/retire/engine-stop
+        produces the same releases as a cold mirror session that only
+        ever mutates the table externally and reruns."""
+        workload = workload_by_name("tpch6")
+        protected = workload.query.protected_table
+        tables, pool = _grown_tables(workload, 500, 0.4)
+
+        incr = _session(sample_size=40)
+        cold = _session(sample_size=40)
+        tab_i = _fresh_copy(tables, protected)
+        tab_c = _fresh_copy(tables, protected)
+        _assert_results_equal(
+            incr.run(workload.query, tab_i),
+            cold.run(workload.query, tab_c),
+        )
+        taken = 0
+        for kind, n in ops:
+            if kind == "stop":
+                incr.engine.stop()
+                continue
+            if kind == "append":
+                chunk = pool[taken:taken + n]
+                if not chunk:  # held-back pool exhausted
+                    continue
+                taken += len(chunk)
+                tab_c[protected].extend(chunk)
+                do_incr = lambda chunk=chunk: incr.append(chunk)
+            else:
+                n = min(n, len(tab_i[protected]) - 1)
+                del tab_c[protected][:n]
+                do_incr = lambda n=n: incr.retire(n)
+            # The mirror's run counter must advance in lockstep, so
+            # every release is compared against a cold run with the
+            # same per-run RNG stream.
+            result = _paired_release(
+                do_incr, lambda: cold.run(workload.query, tab_c)
+            )
+            if result is None:
+                # Both sessions exhausted RANGE ENFORCER identically —
+                # behavior matched; nothing more to compare.
+                break
+
+
+class TestEvictionCounters:
+    def test_sql_plan_cache_evictions_counted(self):
+        from repro.sql.session import SQLSession
+
+        sql = SQLSession(plan_cache_size=2)
+        rows = [{"v": float(i)} for i in range(8)]
+        sql.create_table("t", rows)
+        for threshold in (1.0, 2.0, 3.0, 4.0):
+            sql.sql(f"SELECT COUNT(*) AS n FROM t WHERE v > {threshold}").collect()
+        m = sql.engine.metrics
+        assert m.get(MetricsRegistry.SQL_PLAN_CACHE_EVICTIONS) >= 1
+        # The cache never holds more than its configured size.
+        assert len(sql._plan_cache) <= 2
+
+    def test_bridge_cache_evictions_counted(self, monkeypatch):
+        from repro.core import sqlbridge
+        from repro.tpch.queries.base import random_lineitem
+
+        monkeypatch.setattr(sqlbridge, "_BRIDGE_CACHE_SIZE", 1)
+        sqlbridge.clear_bridge_cache()
+        workload = workload_by_name("tpch6")
+        tables = workload.make_tables(300, SEED)
+        session = _session()
+        for cutoff in (24, 10):
+            session.run_sql(
+                "SELECT COUNT(*) AS n FROM lineitem "
+                f"WHERE l_quantity < {cutoff}",
+                tables, protected_table="lineitem",
+                domain_sampler=random_lineitem,
+            )
+        sqlbridge.clear_bridge_cache()
+        assert session.engine.metrics.get(
+            MetricsRegistry.SQL_PLAN_CACHE_EVICTIONS
+        ) >= 1

@@ -252,6 +252,60 @@ class ServeInBatchKernelQuery(_FixtureBase):
         return float(np.sum(np.asarray(elements, dtype=float)))
 
 
+#: module-level containers the UPA015 fixtures mutate.
+_LINT_CACHE: list = []
+_LINT_STATE: dict = {}
+
+
+class CapturedListQuery(_FixtureBase):
+    """UPA015: mapper appends into a module-level list."""
+
+    name = "bad-captured-list"
+
+    def map_record(self, record: Row, aux: Any) -> float:
+        _LINT_CACHE.append(record)
+        return 1.0
+
+
+class CapturedDictQuery(_FixtureBase):
+    """UPA015: combine writes into a module-level dict."""
+
+    name = "bad-captured-dict"
+
+    def combine(self, a: float, b: float) -> float:
+        _LINT_STATE["last"] = a
+        return a + b
+
+
+class MutableDefaultQuery(_FixtureBase):
+    """UPA015: mapper accumulates into a mutable default argument."""
+
+    name = "bad-mutable-default"
+
+    def map_record(self, record: Row, aux: Any, seen: list = []) -> float:
+        seen.append(record)
+        return 1.0
+
+
+class CapturedBatchKernelQuery(_FixtureBase):
+    """UPA015 applies to batched kernels too."""
+
+    name = "bad-captured-batch"
+
+    def map_batch(self, records, aux):
+        _LINT_CACHE.extend(records)
+        return np.ones(len(records), dtype=float)
+
+
+class ModuleCallQuery(_FixtureBase):
+    """np.add(a, b) is an API call on a module, not captured state."""
+
+    name = "good-module-call"
+
+    def combine(self, a: float, b: float) -> float:
+        return float(np.add(a, b))
+
+
 def _codes(diagnostics):
     return {d.code for d in diagnostics}
 
@@ -392,6 +446,59 @@ class TestPurityPass:
             assert not [
                 d for d in check_query(workload.query)
                 if d.code == "UPA013"
+            ]
+
+    def test_captured_list_mutation_flagged(self):
+        diags = [
+            d for d in check_query(CapturedListQuery())
+            if d.code == "UPA015"
+        ]
+        assert diags
+        assert all(d.severity == Severity.ERROR for d in diags)
+        assert "_LINT_CACHE" in diags[0].message
+
+    def test_captured_dict_write_flagged(self):
+        diags = [
+            d for d in check_query(CapturedDictQuery())
+            if d.code == "UPA015"
+        ]
+        assert diags
+        assert "_LINT_STATE" in diags[0].message
+
+    def test_mutable_default_argument_flagged(self):
+        diags = [
+            d for d in check_query(MutableDefaultQuery())
+            if d.code == "UPA015"
+        ]
+        assert diags
+        assert "mutable container" in diags[0].message
+
+    def test_captured_state_in_batch_kernel_flagged(self):
+        diags = [
+            d for d in check_query(CapturedBatchKernelQuery())
+            if d.code == "UPA015"
+        ]
+        assert diags
+
+    def test_module_api_calls_not_flagged(self):
+        assert not [
+            d for d in check_query(ModuleCallQuery())
+            if d.code == "UPA015"
+        ]
+
+    def test_strict_session_blocks_captured_state(self):
+        session = UPASession(UPAConfig(sample_size=4, seed=0, strict=True))
+        tables = {"t": [{"v": float(i)} for i in range(20)]}
+        with pytest.raises(StaticAnalysisError, match="UPA015"):
+            session.run(CapturedListQuery(), tables, epsilon=0.5)
+
+    def test_shipped_workloads_have_no_upa015(self):
+        from repro.workloads import all_workloads
+
+        for workload in all_workloads():
+            assert not [
+                d for d in check_query(workload.query)
+                if d.code == "UPA015"
             ]
 
     def test_source_unavailable_is_info_not_crash(self):
@@ -714,7 +821,7 @@ class TestRenderersAndRegistry:
     def test_every_diagnostic_code_is_registered(self):
         assert set(CODE_REGISTRY) == {
             "UPA001", "UPA002", "UPA003", "UPA004", "UPA005", "UPA006",
-            "UPA010", "UPA011", "UPA012", "UPA013", "UPA014",
+            "UPA010", "UPA011", "UPA012", "UPA013", "UPA014", "UPA015",
             "UPA101", "UPA102", "UPA103", "UPA104",
             "UPA201", "UPA202", "UPA203",
             "UPA301", "UPA302", "UPA303", "UPA304", "UPA305",
