@@ -34,6 +34,13 @@ the measured gap is exactly the cross-process telemetry cost (the
 design motivation for piggybacking over a dedicated IPC channel —
 there is no second queue to pay for).  Same 5 % bound.
 
+A fourth test holds *continuous monitoring* to the bound: a session
+run with a :class:`~repro.obs.timeseries.TimeSeriesStore` attached —
+per-release ticks, windowed alert evaluation, and the wall-clock
+sampler thread running at an aggressive 50 ms interval (20× the
+default rate) — must stay within 5 % of a bare run, on both the
+threads and the processes backends.
+
 Writes ``BENCH_obs_overhead.json`` at the repo root (override with
 ``BENCH_OBS_OUTPUT``).  Knobs:
 
@@ -77,6 +84,15 @@ MAX_DISABLED_OVERHEAD = 0.05
 #: the enabled live stack (tracer + ledger + alerts + profiler + one
 #: Prometheus render) is held to the same bound per session run.
 MAX_LIVE_OVERHEAD = 0.05
+
+#: continuous time-series sampling (per-release ticks + windowed alert
+#: evaluation + the sampler thread) is held to the same bound.
+MAX_SAMPLING_OVERHEAD = 0.05
+
+#: sampler interval used by the sampling-overhead test — 20× faster
+#: than the 1 s default so the run actually overlaps several wall-clock
+#: ticks; a harsher setting than any real deployment needs.
+SAMPLING_INTERVAL = 0.05
 
 #: sampling rate used by the live-overhead test — the default 100 Hz
 #: halved, matching what a run monitored over a few seconds needs.
@@ -274,6 +290,68 @@ def _timed_processes_runs(workload, tables) -> Dict[str, float]:
         return _interleaved_best(bare_once, live_once)
     finally:
         engine.stop()
+
+
+def _timed_sampling_runs(workload, tables, backend: str) -> Dict[str, float]:
+    """Interleaved bare/sampled per-run wall times on one warm pool.
+
+    The sampled path wires continuous monitoring exactly the way
+    ``repro run --timeseries --serve`` does: ``attach_timeseries``
+    hangs the store (and the windowed alert engine it notifies) off the
+    session, every release ticks it deterministically, and the daemon
+    sampler adds wall-clock ticks at ``SAMPLING_INTERVAL``.
+    """
+    from repro.common.config import EngineConfig
+    from repro.core.session import UPAConfig, UPASession
+    from repro.engine.context import EngineContext
+
+    engine = EngineContext(EngineConfig(backend=backend, max_workers=2))
+    try:
+        # Spawn and warm the pool outside the timed region.
+        engine.parallelize(range(4), 2).map(abs).collect()
+
+        def bare_once():
+            session = UPASession(
+                UPAConfig(epsilon=0.1, sample_size=N, seed=SEED),
+                engine=engine,
+            )
+            session.run(workload.query, tables)
+
+        def live_once():
+            session = UPASession(
+                UPAConfig(epsilon=0.1, sample_size=N, seed=SEED),
+                engine=engine,
+            )
+            store = session.attach_timeseries(
+                interval=SAMPLING_INTERVAL, start=True
+            )
+            try:
+                session.run(workload.query, tables)
+            finally:
+                store.stop()
+
+        return _interleaved_best(bare_once, live_once)
+    finally:
+        engine.stop()
+
+
+def _measure_sampling(name: str, backend: str) -> Dict[str, Any]:
+    workload = workload_by_name(name)
+    tables = cached_tables(workload, SCALE, seed=SEED)
+    timing = _timed_sampling_runs(workload, tables, backend)
+    bare, live = timing["bare"], timing["live"]
+    added = max(0.0, live - bare)
+    return {
+        "n": N,
+        "backend": backend,
+        "sampling_interval_seconds": SAMPLING_INTERVAL,
+        "runs_per_sample": RUNS_PER_SAMPLE,
+        "repeats": LIVE_REPEATS,
+        "bare_run_seconds": bare,
+        "live_run_seconds": live,
+        "added_seconds": added,
+        "live_overhead": added / bare,
+    }
 
 
 def _measure_processes(name: str) -> Dict[str, Any]:
@@ -475,6 +553,62 @@ def test_bench_live_monitoring_overhead():
 
     for name, entry in results.items():
         assert entry["live_overhead"] < MAX_LIVE_OVERHEAD, (name, entry)
+
+
+def test_bench_timeseries_sampling_overhead():
+    """Continuous sampling must cost < 5 % of a bare session run.
+
+    Gates the tentpole promise that the time-series layer is pure
+    observation: read-only snapshot sampling plus ring-buffer appends,
+    off the release path's critical sections, on both thread and
+    process pools.
+    """
+    results: Dict[str, Dict[str, Any]] = {}
+    rows: List[list] = []
+    for backend in ("threads", "processes"):
+        measured = _measure_with_retry(
+            lambda name, backend=backend: _measure_sampling(name, backend),
+            WORKLOADS, MAX_SAMPLING_OVERHEAD,
+        )
+        results[backend] = measured
+        for name, entry in measured.items():
+            rows.append(
+                [
+                    name,
+                    backend,
+                    entry["n"],
+                    f"{entry['bare_run_seconds'] * 1000:.3f}",
+                    f"{entry['live_run_seconds'] * 1000:.3f}",
+                    f"{entry['live_overhead'] * 100:+.3f}%",
+                ]
+            )
+
+    # Merge into the same artifact as the other overhead tests.
+    output = os.path.abspath(OUTPUT)
+    payload: Dict[str, Any] = {}
+    if os.path.exists(output):
+        with open(output, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    payload.setdefault("benchmark", "disabled_tracer_overhead")
+    payload["max_sampling_overhead"] = MAX_SAMPLING_OVERHEAD
+    payload["sampling"] = results
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    report = format_table(
+        ["query", "backend", "n", "bare run (ms)", "sampled run (ms)",
+         "sampling ovh"],
+        rows,
+    )
+    report += f"\n\n(JSON written to {output})"
+    emit_report("bench_obs_overhead_sampling", report)
+
+    for backend, measured in results.items():
+        for name, entry in measured.items():
+            assert entry["live_overhead"] < MAX_SAMPLING_OVERHEAD, (
+                backend, name, entry,
+            )
 
 
 def test_bench_processes_backend_live_overhead():

@@ -13,7 +13,11 @@ Commands:
   ``compare``.
 * ``serve`` — stand up the live-monitoring endpoints over artifacts
   written by an earlier run (the ledger is replayed through the alert
-  rules, so ``/healthz`` reflects what would have fired).
+  rules, so ``/healthz`` reflects what would have fired; a
+  ``--timeseries`` artifact is served at /timeseries + /dashboard).
+* ``watch`` — refreshing terminal view of a live monitored session
+  (polls ``/timeseries`` + ``/healthz``) or a one-shot replay of a
+  ``--timeseries`` artifact through the windowed alert rules.
 * ``lint`` — the upalint static analyzer: query purity, plan
   stability, and budget-flow diagnostics over the built-in workloads
   and/or analyst scripts; exits non-zero on error-severity findings.
@@ -26,7 +30,10 @@ the engine's per-job event log, ``--serve PORT`` exposes /metrics,
 /healthz, /ledger, /traces, /budget, /profile and /workers over HTTP
 while the command runs (``--serve-grace`` keeps serving after it
 finishes), and ``--profile PATH`` writes collapsed stacks from the
-sampling profiler.  ``run``/``run-sql``/``compare`` take ``--backend``
+sampling profiler, and ``--timeseries PATH`` streams the sampled
+metric time series (one JSONL line per tick) for ``repro report
+--trend`` / ``repro watch``.  ``run``/``run-sql``/``compare`` take
+``--backend``
 and ``--max-workers`` to pick the engine's executor; with
 ``--backend processes`` all of the above still works — worker-side
 spans, metrics and profiles are piggybacked back to the coordinator
@@ -79,6 +86,12 @@ def _add_observability_args(parser: argparse.ArgumentParser,
     parser.add_argument(
         "--profile-hz", metavar="HZ", type=float, default=100.0,
         help="profiler sampling rate (default: 100)",
+    )
+    parser.add_argument(
+        "--timeseries", metavar="PATH",
+        help="sample the metrics registry on every release and stream "
+        "the time series to PATH (JSONL; replay with `repro report "
+        "--trend` or `repro watch --timeseries`)",
     )
 
 
@@ -165,6 +178,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "the per-span self-time table)",
     )
     report.add_argument(
+        "--timeseries", metavar="PATH",
+        help="time-series JSONL written by --timeseries (renders the "
+        "per-series trend table)",
+    )
+    report.add_argument(
+        "--trend", action="store_true",
+        help="with --timeseries: replay the windowed alert rules over "
+        "the artifact and include what would have fired",
+    )
+    report.add_argument(
         "--json", action="store_true", help="machine-readable output"
     )
 
@@ -182,12 +205,51 @@ def _build_parser() -> argparse.ArgumentParser:
         "--trace", metavar="PATH",
         help="Chrome trace JSON to serve at /traces",
     )
+    serve.add_argument(
+        "--timeseries", metavar="PATH",
+        help="time-series JSONL to serve at /timeseries and /dashboard "
+        "(replayed through the windowed alert rules)",
+    )
     serve.add_argument("--port", type=int, default=0,
                        help="port to bind (default: ephemeral)")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument(
         "--duration", type=float, default=None, metavar="SECONDS",
         help="serve this long then exit (default: until ctrl-c)",
+    )
+
+    watch = sub.add_parser(
+        "watch",
+        help="refreshing terminal view of a live monitored session "
+        "(or a one-shot replay of a --timeseries artifact)",
+    )
+    watch.add_argument(
+        "--url", metavar="URL",
+        help="base URL of a live observability server started with "
+        "--serve, e.g. http://127.0.0.1:9464",
+    )
+    watch.add_argument(
+        "--timeseries", metavar="PATH",
+        help="replay a time-series JSONL artifact (render one frame "
+        "with the windowed alert rules re-evaluated) instead of "
+        "polling a server",
+    )
+    watch.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="poll interval with --url (default: 2)",
+    )
+    watch.add_argument(
+        "--iterations", type=int, default=None, metavar="N",
+        help="render N frames then exit (default: until ctrl-c)",
+    )
+    watch.add_argument(
+        "--series", action="append", metavar="NAME",
+        help="series to display, repeatable (default: key series "
+        "first, then the rest)",
+    )
+    watch.add_argument(
+        "--no-clear", action="store_true",
+        help="do not clear the screen between frames",
     )
 
     lint = sub.add_parser(
@@ -313,13 +375,20 @@ def _start_live(args, session):
         # worker (SpanContext.profile_hz) and merges the stacks back,
         # so the scheduler needs to know the profiler exists.
         session.engine.install_profiler(profiler)
+    if getattr(args, "timeseries", None):
+        # Attach before the first release so the artifact records the
+        # whole history; every release ticks the store and appends one
+        # JSONL line (--serve additionally starts the wall-clock
+        # sampler in session.serve()).
+        session.attach_timeseries().stream_to(args.timeseries)
     server = None
     if getattr(args, "serve", None) is not None:
         server = session.serve(port=args.serve, profiler=profiler)
         print(f"live monitoring on {server.url} (endpoints: /metrics "
-              "/healthz /ledger /traces /budget /profile /workers)")
+              "/healthz /ledger /traces /budget /profile /workers "
+              "/timeseries /dashboard)")
         sys.stdout.flush()
-    elif session.ledger is not None:
+    elif session.ledger is not None and session.alert_engine is None:
         # No server, but alert rules still evaluate on every release
         # so the exit summary (and the ledger header) reflect firings.
         session.attach_alerts()
@@ -381,6 +450,12 @@ def _emit_observability(args, engine, tracer, ledger) -> None:
         ledger.write_jsonl(args.ledger)
         print(f"privacy ledger written to {args.ledger} "
               f"({len(ledger)} entries)")
+    store = getattr(engine, "timeseries", None)
+    if store is not None and getattr(args, "timeseries", None):
+        # stream_to already appended every tick; nothing left to flush.
+        print(f"time series written to {args.timeseries} "
+              f"({len(store.tick_times())} tick(s), "
+              f"{len(store.names())} series)")
     if getattr(args, "events", False) and engine.job_listener is not None:
         print("job events:")
         print(engine.job_listener.summary())
@@ -555,18 +630,32 @@ def _cmd_report(args) -> int:
 
     from repro.obs import ObservedRun
 
-    if not args.trace and not args.ledger and not args.profile:
-        print("repro report: pass --trace, --ledger and/or --profile",
+    if not (args.trace or args.ledger or args.profile or args.timeseries):
+        print("repro report: pass --trace, --ledger, --profile and/or "
+              "--timeseries", file=sys.stderr)
+        return 2
+    if args.trend and not args.timeseries:
+        print("repro report: --trend needs --timeseries PATH",
               file=sys.stderr)
         return 2
-    for path in (args.trace, args.ledger, args.profile):
+    for path in (args.trace, args.ledger, args.profile, args.timeseries):
         if path and not os.path.exists(path):
             print(f"repro report: no such file: {path}", file=sys.stderr)
             return 2
     observed = ObservedRun.from_artifacts(
         trace_path=args.trace, ledger_path=args.ledger,
-        profile_path=args.profile,
+        profile_path=args.profile, timeseries_path=args.timeseries,
     )
+    if args.trend and observed.timeseries is not None:
+        from repro.obs import AlertEngine
+
+        alert_engine = AlertEngine()
+        alert_engine.replay(observed.timeseries)
+        seen = {(a.get("rule"), a.get("message")) for a in observed.alerts}
+        observed.alerts.extend(
+            a for a in alert_engine.to_dicts()
+            if (a.get("rule"), a.get("message")) not in seen
+        )
     print(observed.render_json() if args.json else observed.render_text())
     return 0
 
@@ -578,10 +667,11 @@ def _cmd_serve(args) -> int:
 
     from repro.obs import AlertEngine, ObservabilityServer, PrivacyLedger
 
-    if not args.ledger and not args.trace:
-        print("repro serve: pass --ledger and/or --trace", file=sys.stderr)
+    if not args.ledger and not args.trace and not args.timeseries:
+        print("repro serve: pass --ledger, --trace and/or --timeseries",
+              file=sys.stderr)
         return 2
-    for path in (args.ledger, args.trace):
+    for path in (args.ledger, args.trace, args.timeseries):
         if path and not os.path.exists(path):
             print(f"repro serve: no such file: {path}", file=sys.stderr)
             return 2
@@ -593,16 +683,27 @@ def _cmd_serve(args) -> int:
         # reflects what a live session would have reported.
         alert_engine = AlertEngine()
         alert_engine.replay(ledger)
+    timeseries = None
+    if args.timeseries:
+        from repro.obs.timeseries import TimeSeriesStore
+
+        timeseries = TimeSeriesStore.read_jsonl(args.timeseries)
+        if alert_engine is None:
+            alert_engine = AlertEngine()
+        # Same replay contract as the ledger: the windowed rules walk
+        # the recorded ticks, so /healthz and /dashboard badges show
+        # what continuous monitoring would have fired.
+        alert_engine.replay(timeseries)
     static_trace = None
     if args.trace:
         with open(args.trace, "r", encoding="utf-8") as handle:
             static_trace = json.load(handle)
     server = ObservabilityServer(
         ledger=ledger, alerts=alert_engine, static_trace=static_trace,
-        host=args.host, port=args.port,
+        timeseries=timeseries, host=args.host, port=args.port,
     ).start()
     sources = " and ".join(
-        p for p in (args.ledger, args.trace) if p
+        p for p in (args.ledger, args.trace, args.timeseries) if p
     )
     print(f"serving {sources} on {server.url}")
     if alert_engine is not None:
@@ -619,6 +720,84 @@ def _cmd_serve(args) -> int:
     except KeyboardInterrupt:  # pragma: no cover - interactive
         pass
     server.stop()
+    return 0
+
+
+def _fetch_json(url: str, timeout: float = 10.0):
+    """GET ``url`` and parse JSON; error bodies parse too.
+
+    ``/healthz`` answers 503 with a JSON body when alerts have fired —
+    that is a successful watch poll, not a transport failure, so HTTP
+    errors carrying parseable JSON are returned rather than raised.
+    """
+    import json
+    import urllib.error
+    import urllib.request
+
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as resp:
+            return json.loads(resp.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        body = exc.read().decode("utf-8", "replace")
+        try:
+            return json.loads(body)
+        except ValueError:
+            raise exc
+
+
+def _cmd_watch(args) -> int:
+    import os
+    import time
+
+    from repro.obs.watch import CLEAR_SCREEN, render_watch
+
+    if bool(args.url) == bool(args.timeseries):
+        print("repro watch: pass exactly one of --url or --timeseries",
+              file=sys.stderr)
+        return 2
+
+    if args.timeseries:
+        if not os.path.exists(args.timeseries):
+            print(f"repro watch: no such file: {args.timeseries}",
+                  file=sys.stderr)
+            return 2
+        from repro.obs import AlertEngine
+        from repro.obs.timeseries import TimeSeriesStore
+
+        store = TimeSeriesStore.read_jsonl(args.timeseries)
+        alert_engine = AlertEngine()
+        alert_engine.replay(store)
+        fired = alert_engine.to_dicts()
+        health = {"status": "degraded" if fired else "ok",
+                  "alerts": fired}
+        sys.stdout.write(render_watch(
+            store.to_payload(series=args.series), health,
+            series=args.series, source=args.timeseries,
+        ))
+        return 0
+
+    base = args.url.rstrip("/")
+    query = "?series=" + ",".join(args.series) if args.series else ""
+    frame = 0
+    try:
+        while args.iterations is None or frame < args.iterations:
+            if frame:
+                time.sleep(max(0.0, args.interval))
+            frame += 1
+            try:
+                payload = _fetch_json(base + "/timeseries" + query)
+                health = _fetch_json(base + "/healthz")
+            except (OSError, ValueError) as exc:
+                print(f"repro watch: {base}: {exc}", file=sys.stderr)
+                return 1
+            text = render_watch(payload, health, series=args.series,
+                                source=base)
+            if not args.no_clear and sys.stdout.isatty():
+                sys.stdout.write(CLEAR_SCREEN)
+            sys.stdout.write(text)
+            sys.stdout.flush()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
     return 0
 
 
@@ -685,6 +864,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_report(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "watch":
+            return _cmd_watch(args)
         if args.command == "lint":
             return _cmd_lint(args)
     except BrokenPipeError:  # e.g. `repro list | head`

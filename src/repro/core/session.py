@@ -338,6 +338,9 @@ class UPASession:
         self.alert_engine = None
         #: live introspection server, if serve() started one.
         self.obs_server = None
+        #: metric time-series store wired by serve() (or
+        #: attach_timeseries()); None until then.
+        self.timeseries = None
 
     @property
     def tracer(self) -> Tracer:
@@ -366,15 +369,49 @@ class UPASession:
         self.alert_engine = engine
         return engine
 
+    def attach_timeseries(self, store=None, *, interval: float = 1.0,
+                          start: bool = False, alerts: bool = True):
+        """Wire a metric time-series store to this session.
+
+        With no argument, builds a
+        :class:`~repro.obs.timeseries.TimeSeriesStore` over the engine
+        registry.  Every release then ticks the store (so an
+        ``append``/``retire`` loop grows real time series) and — with
+        ``alerts`` (the default) — evaluates the windowed alert rules
+        on each tick.  ``start=True`` also starts the daemon sampler
+        thread, which keeps sampling between releases; the engine's
+        :meth:`~repro.engine.context.EngineContext.stop` stops it.
+        Idempotent: a second call returns the already-attached store
+        (starting its sampler if newly asked to).
+        """
+        from repro.obs.timeseries import TimeSeriesStore
+
+        if self.timeseries is not None:
+            if start:
+                self.timeseries.start()
+            return self.timeseries
+        if store is None:
+            store = TimeSeriesStore(self.engine.metrics, interval=interval)
+        if alerts:
+            self.attach_alerts().attach_timeseries(store)
+        self.engine.install_timeseries(store)
+        self.timeseries = store
+        if start:
+            store.start()
+        return store
+
     def serve(self, port: int = 0, host: str = "127.0.0.1",
-              alerts: bool = True, profiler=None):
+              alerts: bool = True, profiler=None,
+              timeseries: bool = True, timeseries_interval: float = 1.0):
         """Start live monitoring endpoints over this session.
 
         Wires everything the session owns — engine metrics, the
         effective tracer, the privacy ledger, the accountant, an alert
         engine (built via :meth:`attach_alerts` unless ``alerts`` is
-        False) and an optional :class:`~repro.obs.profiler
-        .SamplingProfiler` — into one
+        False), a time-series store with a running sampler (built via
+        :meth:`attach_timeseries` unless ``timeseries`` is False; it
+        backs ``/timeseries`` and ``/dashboard``) and an optional
+        :class:`~repro.obs.profiler.SamplingProfiler` — into one
         :class:`~repro.obs.server.ObservabilityServer`.  ``port=0``
         binds an ephemeral port; read ``.url`` off the returned server.
         Stop it with ``session.obs_server.stop()`` (or let the daemon
@@ -385,6 +422,11 @@ class UPASession:
         if self.obs_server is not None:
             return self.obs_server
         engine = self.attach_alerts() if alerts else None
+        store = None
+        if timeseries:
+            store = self.attach_timeseries(
+                interval=timeseries_interval, alerts=alerts, start=True,
+            )
         tracer = self.tracer
         self.obs_server = self.engine.serve(
             port=port, host=host,
@@ -396,6 +438,7 @@ class UPASession:
             ),
             alerts=engine,
             profiler=profiler,
+            timeseries=store,
         )
         return self.obs_server
 
@@ -435,6 +478,7 @@ class UPASession:
                     query, cached, epsilon_charged=0.0, delta=0.0,
                     cache_hit=True,
                 )
+                self._observe_release(cached, 0.0, cache_hit=True)
                 return cached
         delta = self.config.delta if self.config.mechanism == "gaussian" else 0.0
         if self.accountant is not None:
@@ -504,6 +548,7 @@ class UPASession:
             query, result, epsilon_charged=epsilon, delta=delta,
             cache_hit=False,
         )
+        self._observe_release(result, epsilon, cache_hit=False)
         return result
 
     def append(
@@ -566,6 +611,53 @@ class UPASession:
         incr.primed = True
         self.engine.metrics.incr(MetricsRegistry.INCR_RETIRES)
         return self.run(incr.query, incr.tables, epsilon)
+
+    def _observe_release(
+        self,
+        result: UPAResult,
+        epsilon_charged: float,
+        *,
+        cache_hit: bool,
+    ) -> None:
+        """Fold one release into the metric registry and time series.
+
+        Runs after the result (and its per-run metrics diff) is fully
+        built, so these counters never appear inside a run's own
+        ``result.metrics`` window.  The final tick pushes the fresh
+        values into the attached time-series store, which evaluates the
+        windowed alert rules through its listeners — this is what makes
+        every ``append``/``retire`` release an alert-evaluation point.
+        Pure observation: nothing here touches the RNG or the pipeline,
+        so DP outputs are bitwise identical with or without it.
+        """
+        metrics = self.engine.metrics
+        metrics.incr(MetricsRegistry.RELEASES)
+        if epsilon_charged > 0:
+            metrics.incr(MetricsRegistry.RELEASE_EPSILON, epsilon_charged)
+        if not cache_hit:
+            enforcement = result.enforcement
+            if enforcement.clamped:
+                metrics.incr(MetricsRegistry.RELEASE_CLAMPS)
+            if enforcement.records_removed:
+                metrics.incr(
+                    MetricsRegistry.RELEASE_RECORDS_REMOVED,
+                    float(enforcement.records_removed),
+                )
+            metrics.set_gauge(
+                MetricsRegistry.RELEASE_SENSITIVITY,
+                result.local_sensitivity,
+            )
+        if self.accountant is not None:
+            metrics.set_gauge(
+                MetricsRegistry.BUDGET_REMAINING,
+                float(self.accountant.remaining_epsilon()),
+            )
+            metrics.set_gauge(
+                MetricsRegistry.BUDGET_SPENT,
+                float(self.accountant.spent()[0]),
+            )
+        if self.timeseries is not None:
+            self.timeseries.tick()
 
     def _require_incremental(self, op: str) -> "_IncrementalState":
         incr = self._incr

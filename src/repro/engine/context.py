@@ -53,6 +53,9 @@ class EngineContext:
         self.profiler = None
         #: live introspection server, if serve() started one.
         self.obs_server = None
+        #: time-series store sampling this engine's metrics (None
+        #: unless install_timeseries ran; stop() stops its sampler).
+        self.timeseries = None
         self._rdd_ids = itertools.count(1)
         self._lock = threading.Lock()
         #: bumped by every stop(); part of cache_epoch() so derived
@@ -158,6 +161,22 @@ class EngineContext:
         ):
             self.install_job_listener(JobListener())
 
+    def install_timeseries(self, store) -> None:
+        """Install (or clear, with None) a metric time-series store.
+
+        The store samples this engine's registry (it is read-only over
+        thread-safe snapshots, so it can never influence outputs);
+        installing it here makes :meth:`serve` expose it on
+        ``/timeseries`` + ``/dashboard`` and makes :meth:`stop` stop
+        its sampler thread with the rest of the engine services.
+        """
+        if store is None:
+            if self.timeseries is not None:
+                self.timeseries.stop()
+            self.timeseries = None
+            return
+        self.timeseries = store
+
     def install_profiler(self, profiler) -> None:
         """Install (or clear, with None) a sampling profiler.
 
@@ -221,6 +240,7 @@ class EngineContext:
             return self.obs_server
         tracer = self.tracer if self.tracer is not NULL_TRACER else None
         sources.setdefault("tracer", tracer)
+        sources.setdefault("timeseries", self.timeseries)
         self.obs_server = ObservabilityServer(
             metrics=self.metrics, host=host, port=port, **sources
         ).start()
@@ -244,6 +264,8 @@ class EngineContext:
         if self.obs_server is not None:
             self.obs_server.stop()
             self.obs_server = None
+        if self.timeseries is not None:
+            self.timeseries.stop()
         self.scheduler.shutdown()
         self.shuffle_manager.clear()
         self.block_store.clear()

@@ -211,6 +211,22 @@ class MetricsRegistry:
     #: incremental release (1.0 = effectively a cold run).
     INCR_DELTA_FRACTION = "incremental.delta_fraction"
 
+    #: Counter/gauge names recorded per DP release by UPASession so the
+    #: time-series store (repro.obs.timeseries) can derive rates and the
+    #: windowed alert rules can forecast budget exhaustion.  The epsilon
+    #: counter accumulates *charged* epsilon (cache hits add zero), the
+    #: budget gauges mirror the accountant, and the sensitivity gauge is
+    #: the last release's exact local sensitivity.
+    RELEASES = "release.count"
+    RELEASE_CLAMPS = "release.clamps"
+    RELEASE_RECORDS_REMOVED = "release.records_removed"
+    RELEASE_EPSILON = "release.epsilon_charged"
+    RELEASE_SENSITIVITY = "release.local_sensitivity"
+    # "session." prefix keeps the sanitized Prometheus families clear
+    # of the accountant-labelled upa_budget_* gauges the server emits.
+    BUDGET_REMAINING = "session.budget_remaining_epsilon"
+    BUDGET_SPENT = "session.budget_spent_epsilon"
+
     #: Histogram names used by the engine and the UPA pipeline.
     TASK_SECONDS = "task_seconds"
     JOB_SECONDS = "job_seconds"

@@ -27,6 +27,12 @@ Live-monitoring pillars (same doc, "Live monitoring"):
   (:class:`SpanContext`), worker spans/metrics/profiles piggybacked
   back (:class:`WorkerTelemetry`) and merged under ``worker=<pid>``
   labels.
+* :mod:`repro.obs.timeseries` — the bounded :class:`TimeSeriesStore`
+  ring buffers behind continuous monitoring: sampled metric history,
+  counter→rate derivation, exhaustion forecasts and the JSONL
+  time-series artifact (``--timeseries``).
+* :mod:`repro.obs.watch` — pure terminal rendering for ``repro
+  watch`` (unicode sparklines over ``/timeseries`` payloads).
 
 Observer code must never influence query outputs: calling into this
 package from a mapper/reducer is flagged by upalint (UPA011), and
@@ -40,7 +46,9 @@ from repro.obs.alerts import (
     BudgetBurnRule,
     ClampRateRule,
     GaugeThresholdRule,
+    RateRule,
     SensitivityDriftRule,
+    TrendRule,
     WorkerRssRule,
     WorkerStarvationRule,
     default_rules,
@@ -53,10 +61,12 @@ from repro.obs.crossproc import (
 )
 from repro.obs.exporters import (
     labeled_name,
+    render_dashboard,
     render_otlp_metrics,
     render_otlp_spans,
     render_prometheus,
     sanitize_metric_name,
+    sparkline_svg,
     split_labeled_name,
 )
 from repro.obs.ledger import LedgerEntry, PrivacyLedger, make_entry
@@ -67,6 +77,15 @@ from repro.obs.profiler import (
 )
 from repro.obs.report import ObservedRun, SpanStat, run_header
 from repro.obs.server import ObservabilityServer
+from repro.obs.timeseries import (
+    KEY_SERIES,
+    TIMESERIES_FORMAT,
+    TimeSeriesStore,
+    forecast_exhaustion,
+    least_squares_slope,
+    order_series,
+)
+from repro.obs.watch import render_watch, spark
 from repro.obs.tracing import (
     NULL_TRACER,
     NullTracer,
@@ -87,36 +106,48 @@ __all__ = [
     "BudgetBurnRule",
     "ClampRateRule",
     "GaugeThresholdRule",
+    "KEY_SERIES",
     "LedgerEntry",
     "NULL_TRACER",
     "NullTracer",
     "ObservabilityServer",
     "ObservedRun",
     "PrivacyLedger",
+    "RateRule",
     "SamplingProfiler",
     "SensitivityDriftRule",
     "Span",
     "SpanContext",
     "SpanStat",
+    "TIMESERIES_FORMAT",
+    "TimeSeriesStore",
     "Tracer",
+    "TrendRule",
     "WorkerRssRule",
     "WorkerStarvationRule",
     "WorkerTelemetry",
     "active_span_chain",
     "current_span",
     "default_rules",
+    "forecast_exhaustion",
     "get_tracer",
     "labeled_name",
+    "least_squares_slope",
     "make_entry",
     "merge_telemetry",
+    "order_series",
     "parse_collapsed",
+    "render_dashboard",
     "render_otlp_metrics",
     "render_otlp_spans",
     "render_prometheus",
+    "render_watch",
     "run_header",
     "sanitize_metric_name",
     "set_tracer",
+    "spark",
     "span_table_from_collapsed",
+    "sparkline_svg",
     "split_labeled_name",
     "trace",
     "use_tracer",

@@ -165,6 +165,11 @@ class ObservedRun:
     #: :func:`repro.obs.crossproc.worker_table`). Empty for
     #: thread/inline runs.
     workers: List[Dict[str, Any]] = field(default_factory=list)
+    #: sampled metric history (a
+    #: :class:`~repro.obs.timeseries.TimeSeriesStore`), live or
+    #: reloaded from a ``--timeseries`` JSONL artifact. None when the
+    #: run was not sampled.
+    timeseries: Optional[Any] = None
 
     # -- constructors -------------------------------------------------
     @classmethod
@@ -175,6 +180,7 @@ class ObservedRun:
         ledger: Optional[PrivacyLedger] = None,
         alert_engine: Optional[Any] = None,
         profiler: Optional[Any] = None,
+        timeseries: Optional[Any] = None,
     ) -> "ObservedRun":
         header: Dict[str, Any] = {}
         durations: List[Tuple[str, float]] = []
@@ -200,7 +206,7 @@ class ObservedRun:
 
             workers = worker_table(metrics)
         return cls(header, durations, metrics, entries, totals,
-                   alerts, profile, workers)
+                   alerts, profile, workers, timeseries)
 
     @classmethod
     def from_artifacts(
@@ -208,6 +214,7 @@ class ObservedRun:
         trace_path: Optional[str] = None,
         ledger_path: Optional[str] = None,
         profile_path: Optional[str] = None,
+        timeseries_path: Optional[str] = None,
     ) -> "ObservedRun":
         header: Dict[str, Any] = {}
         durations: List[Tuple[str, float]] = []
@@ -244,8 +251,15 @@ class ObservedRun:
             from repro.obs.profiler import span_table_from_collapsed
             with open(profile_path, "r", encoding="utf-8") as handle:
                 profile = span_table_from_collapsed(handle.read())
+        timeseries = None
+        if timeseries_path is not None:
+            from repro.obs.timeseries import TimeSeriesStore
+
+            timeseries = TimeSeriesStore.read_jsonl(timeseries_path)
+            for key, value in timeseries.header.items():
+                header.setdefault(key, value)
         return cls(header, durations, None, entries, totals,
-                   alerts, profile, workers)
+                   alerts, profile, workers, timeseries)
 
     # -- breakdowns ---------------------------------------------------
     def phase_stats(self) -> List[SpanStat]:
@@ -279,6 +293,41 @@ class ObservedRun:
             if value
         }
 
+    def timeseries_trends(self) -> List[Dict[str, Any]]:
+        """Per-series trend rows from the sampled metric history.
+
+        One row per series, key series first: point count, first/last
+        values, the trailing per-second change (rate for counters,
+        least-squares slope for gauges) and a unicode sparkline of the
+        whole retained window.  Empty when the run was not sampled.
+        """
+        if self.timeseries is None:
+            return []
+        from repro.obs.timeseries import COUNTER, order_series
+        from repro.obs.watch import spark
+
+        store = self.timeseries
+        rows: List[Dict[str, Any]] = []
+        for name in order_series(store.names()):
+            points = store.points(name)
+            if not points:
+                continue
+            kind = store.kind(name)
+            if kind == COUNTER:
+                change = store.rate(name)
+            else:
+                change = store.slope(name)
+            rows.append({
+                "series": name,
+                "kind": kind,
+                "points": len(points),
+                "first": points[0][1],
+                "last": points[-1][1],
+                "per_second": change,
+                "spark": spark([p[1] for p in points], width=16),
+            })
+        return rows
+
     # -- rendering ----------------------------------------------------
     def to_dict(self) -> dict:
         return {
@@ -296,6 +345,10 @@ class ObservedRun:
                 for span, samples, seconds in self.profile
             ],
             "workers": [dict(w) for w in self.workers],
+            "timeseries": {
+                "ticks": len(self.timeseries.tick_times()),
+                "trends": [dict(r) for r in self.timeseries_trends()],
+            } if self.timeseries is not None else None,
         }
 
     def render_json(self) -> str:
@@ -381,6 +434,21 @@ class ObservedRun:
             sections.append(
                 "profiler span self-time:\n" + format_table(
                     ["span", "samples", "est ms"], rows)
+            )
+        trends = self.timeseries_trends()
+        if trends:
+            rows = [
+                [r["series"], r["kind"], r["points"],
+                 f"{r['first']:g}", f"{r['last']:g}",
+                 f"{r['per_second']:.4g}"
+                 if r["per_second"] is not None else "-",
+                 r["spark"]]
+                for r in trends
+            ]
+            sections.append(
+                "time-series trends:\n" + format_table(
+                    ["series", "kind", "points", "first", "last",
+                     "per second", "trend"], rows)
             )
         if self.alerts:
             rows = [

@@ -24,15 +24,26 @@ endpoint    serves
              uptime, tasks completed, task-seconds summary — derived
              from the ``worker``-labelled series the cross-process
              telemetry merge records (:mod:`repro.obs.crossproc`)
+``/timeseries`` sampled metric history from the attached
+             :class:`~repro.obs.timeseries.TimeSeriesStore`;
+             ``?series=a,b`` filters (exact names or labelled-family
+             bases), ``?since=T`` bounds, ``?step=S`` resamples,
+             ``?window=W`` sets the rate window
+``/dashboard`` self-contained HTML over the same store: inline-SVG
+             sparklines, alert badges, budget forecast; auto-refreshes
+             (``?refresh=S``, ``0`` disables)
 ========== ==========================================================
 
 Every data source (metrics registry, tracer, ledger, accountant,
-profiler) is already thread-safe, so scrape threads never contend with
-the pipeline beyond those locks.  Embed via
+profiler, time-series store) is already thread-safe, so scrape threads
+never contend with the pipeline beyond those locks.  Embed via
 :meth:`repro.engine.context.EngineContext.serve` /
 :meth:`repro.core.session.UPASession.serve`, or the CLI's ``--serve``
 flag / ``repro serve`` command.  Starting a server from inside a
 mapper/reducer is flagged by upalint (UPA013).
+
+Malformed query parameters (``?n=banana``) answer 400 with a JSON
+error body — a scrape must never surface a stack-trace 500 for a typo.
 """
 
 from __future__ import annotations
@@ -54,6 +65,7 @@ from repro.obs.exporters import (
 )
 from repro.obs.ledger import PrivacyLedger
 from repro.obs.profiler import SamplingProfiler
+from repro.obs.timeseries import TimeSeriesStore
 from repro.obs.tracing import Tracer
 
 #: (status, content-type, body) triple every route returns.
@@ -65,6 +77,50 @@ _PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 def _json_response(payload: Any, status: int = 200) -> _Response:
     body = json.dumps(payload, indent=2, sort_keys=True, default=str)
     return status, "application/json; charset=utf-8", body.encode("utf-8")
+
+
+class _BadParam(ValueError):
+    """A malformed query parameter; answered as HTTP 400 + JSON."""
+
+
+def _str_param(params: Dict[str, List[str]], key: str) -> Optional[str]:
+    values = params.get(key)
+    return values[0] if values else None
+
+
+def _int_param(params: Dict[str, List[str]], key: str) -> Optional[int]:
+    raw = _str_param(params, key)
+    if raw is None:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise _BadParam(
+            f"query parameter {key!r} must be an integer, got {raw!r}"
+        ) from None
+
+
+def _float_param(
+    params: Dict[str, List[str]], key: str, positive: bool = False
+) -> Optional[float]:
+    raw = _str_param(params, key)
+    if raw is None:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        raise _BadParam(
+            f"query parameter {key!r} must be a number, got {raw!r}"
+        ) from None
+    if value != value or value in (float("inf"), float("-inf")):
+        raise _BadParam(
+            f"query parameter {key!r} must be finite, got {raw!r}"
+        )
+    if positive and value <= 0:
+        raise _BadParam(
+            f"query parameter {key!r} must be positive, got {raw!r}"
+        )
+    return value
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -122,6 +178,7 @@ class ObservabilityServer:
         ] = None,
         alerts: Optional[AlertEngine] = None,
         profiler: Optional[SamplingProfiler] = None,
+        timeseries: Optional[TimeSeriesStore] = None,
         host: str = "127.0.0.1",
         port: int = 0,
         namespace: str = "upa",
@@ -137,6 +194,7 @@ class ObservabilityServer:
         )
         self.alerts = alerts
         self.profiler = profiler
+        self.timeseries = timeseries
         self.namespace = namespace
         #: a pre-rendered Chrome trace document served when no live
         #: tracer is attached (``repro serve --trace artifact.json``).
@@ -202,22 +260,29 @@ class ObservabilityServer:
         with self._lock:
             self._scrapes += 1
         path = path.rstrip("/") or "/"
-        if path == "/":
-            return self._index()
-        if path == "/metrics":
-            return self._metrics(params)
-        if path == "/healthz":
-            return self._healthz()
-        if path == "/ledger":
-            return self._ledger(params)
-        if path == "/traces":
-            return self._traces(params)
-        if path == "/budget":
-            return self._budget()
-        if path == "/profile":
-            return self._profile()
-        if path == "/workers":
-            return self._workers()
+        try:
+            if path == "/":
+                return self._index()
+            if path == "/metrics":
+                return self._metrics(params)
+            if path == "/healthz":
+                return self._healthz()
+            if path == "/ledger":
+                return self._ledger(params)
+            if path == "/traces":
+                return self._traces(params)
+            if path == "/budget":
+                return self._budget()
+            if path == "/profile":
+                return self._profile()
+            if path == "/workers":
+                return self._workers()
+            if path == "/timeseries":
+                return self._timeseries(params)
+            if path == "/dashboard":
+                return self._dashboard(params)
+        except _BadParam as exc:
+            return _json_response({"error": str(exc)}, status=400)
         return (
             404, "text/plain; charset=utf-8",
             f"no such endpoint: {path}\n".encode("utf-8"),
@@ -235,6 +300,8 @@ class ObservabilityServer:
             "/budget": bool(self.accountants),
             "/profile": self.profiler is not None,
             "/workers": self.metrics is not None,
+            "/timeseries": self.timeseries is not None,
+            "/dashboard": self.timeseries is not None,
         }
         return _json_response({
             "service": "repro.obs",
@@ -242,7 +309,21 @@ class ObservabilityServer:
         })
 
     def _tick_alerts(self) -> None:
-        """One metrics tick per scrape: evaluate metric-driven rules."""
+        """One metrics tick per scrape: evaluate metric-driven rules.
+
+        When a live time-series store is attached this also drives a
+        rate-limited store tick (which in turn evaluates the windowed
+        rules through the store's listeners) — so on an idle-but-
+        serving session the act of scraping keeps the series, and
+        therefore the alert state, fresh between releases.  A store
+        rebuilt from an artifact (``metrics is None``) is never ticked:
+        replayed history must stay exactly as recorded.
+        """
+        if (
+            self.timeseries is not None
+            and self.timeseries.metrics is not None
+        ):
+            self.timeseries.tick_if_due()
         if self.alerts is not None and self.metrics is not None:
             self.alerts.observe_metrics(self.metrics.snapshot())
 
@@ -309,13 +390,12 @@ class ObservabilityServer:
             return (404, "text/plain; charset=utf-8",
                     b"no privacy ledger attached\n")
         entries = self.ledger.entries()
-        since = params.get("since", [None])[0]
-        if since is not None:
-            cursor = int(since)
+        cursor = _int_param(params, "since")
+        if cursor is not None:
             entries = [e for e in entries if e.sequence > cursor]
-        n = params.get("n", [None])[0]
+        n = _int_param(params, "n")
         if n is not None:
-            count = max(0, int(n))
+            count = max(0, n)
             entries = entries[len(entries) - count:] if count else []
         header = {"format": PrivacyLedger.FORMAT, **self.ledger.header}
         lines = [json.dumps(header, sort_keys=True, default=str)]
@@ -366,3 +446,50 @@ class ObservabilityServer:
             "workers": workers,
             "count": len(workers),
         })
+
+    def _timeseries_params(
+        self, params: Dict[str, List[str]]
+    ) -> Tuple[Optional[List[str]], Optional[float], Optional[float]]:
+        raw_series = _str_param(params, "series")
+        names = None
+        if raw_series:
+            names = [s for s in raw_series.split(",") if s.strip()]
+        since = _float_param(params, "since")
+        step = _float_param(params, "step", positive=True)
+        return names, since, step
+
+    def _timeseries(self, params: Dict[str, List[str]]) -> _Response:
+        if self.timeseries is None:
+            return (404, "text/plain; charset=utf-8",
+                    b"no time-series store attached\n")
+        names, since, step = self._timeseries_params(params)
+        window = _float_param(params, "window", positive=True)
+        self._tick_alerts()
+        return _json_response(self.timeseries.to_payload(
+            series=names, since=since, step=step, rate_window=window,
+        ))
+
+    def _dashboard(self, params: Dict[str, List[str]]) -> _Response:
+        if self.timeseries is None:
+            return (404, "text/plain; charset=utf-8",
+                    b"no time-series store attached\n")
+        from repro.obs.exporters import render_dashboard
+
+        names, since, step = self._timeseries_params(params)
+        refresh = _float_param(params, "refresh")
+        if refresh is not None and refresh < 0:
+            raise _BadParam(
+                f"query parameter 'refresh' must be >= 0, got {refresh!r}"
+            )
+        if refresh is None:
+            refresh = max(2.0, self.timeseries.interval)
+        self._tick_alerts()
+        html = render_dashboard(
+            self.timeseries,
+            alerts=self.alerts.to_dicts() if self.alerts else None,
+            refresh=refresh or None,
+            series=names,
+            since=since,
+            step=step,
+        )
+        return 200, "text/html; charset=utf-8", html.encode("utf-8")

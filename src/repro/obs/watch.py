@@ -1,0 +1,200 @@
+"""`repro watch`: a refreshing terminal view of a monitored session.
+
+The dashboard answers "open a browser"; ``watch`` answers "I have a
+terminal and a port".  It polls a live
+:class:`~repro.obs.server.ObservabilityServer` (``/timeseries`` for the
+sampled series, ``/healthz`` for alert state) — or replays a
+``--timeseries`` JSONL artifact — and renders one aligned table of key
+series with unicode sparklines, the budget-exhaustion forecast, and
+every firing alert.
+
+Rendering is pure (payload dicts in, string out) so tests can golden
+the exact terminal output from a synthetic artifact; the CLI loop in
+:mod:`repro.cli` only adds polling, screen clearing and sleep.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.engine.metrics import MetricsRegistry
+from repro.obs.timeseries import order_series
+
+#: eight-level unicode bars, lowest to highest.
+SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+#: ANSI "clear screen + home" used by the live loop between refreshes.
+CLEAR_SCREEN = "\x1b[2J\x1b[H"
+
+
+def spark(values: Sequence[float], width: int = 24) -> str:
+    """Unicode sparkline of ``values``, downsampled to ``width`` cells.
+
+    A flat (or single-point) series renders at the lowest level; an
+    empty one renders as spaces so table columns stay aligned.
+    """
+    if not values:
+        return " " * width
+    values = list(values)
+    if len(values) > width:
+        # bucket-mean downsample so a long history still fits one cell
+        # row without aliasing away short spikes entirely.
+        buckets: List[float] = []
+        for i in range(width):
+            lo = i * len(values) // width
+            hi = max(lo + 1, (i + 1) * len(values) // width)
+            chunk = values[lo:hi]
+            buckets.append(sum(chunk) / len(chunk))
+        values = buckets
+    vmin, vmax = min(values), max(values)
+    span = vmax - vmin
+    if span <= 0:
+        line = SPARK_LEVELS[0] * len(values)
+    else:
+        line = "".join(
+            SPARK_LEVELS[
+                min(
+                    len(SPARK_LEVELS) - 1,
+                    int((v - vmin) / span * len(SPARK_LEVELS)),
+                )
+            ]
+            for v in values
+        )
+    return line.ljust(width)
+
+
+def _format_number(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    value = float(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def budget_forecast(payload: Mapping[str, Any]) -> Optional[Dict[str, float]]:
+    """Exhaustion forecast recomputed from a ``/timeseries`` payload.
+
+    Mirrors :func:`repro.obs.timeseries.forecast_exhaustion` but works
+    on the serialized payload, so a watch client needs no store object:
+    the charge rate comes from the ``release.epsilon_charged`` series'
+    reported trailing rate, the balance from the last point of the
+    session budget gauge.
+    """
+    series = payload.get("series") or {}
+    charged = series.get(MetricsRegistry.RELEASE_EPSILON)
+    remaining = series.get(MetricsRegistry.BUDGET_REMAINING)
+    if not charged or not remaining:
+        return None
+    rate = charged.get("rate_per_second")
+    balance = remaining.get("latest")
+    if rate is None or rate <= 0 or balance is None:
+        return None
+    seconds = float(balance) / float(rate)
+    forecast = {
+        "epsilon_per_second": float(rate),
+        "remaining_epsilon": float(balance),
+        "seconds_to_exhaustion": seconds,
+    }
+    releases = series.get(MetricsRegistry.RELEASES) or {}
+    release_rate = releases.get("rate_per_second")
+    if release_rate:
+        forecast["releases_to_exhaustion"] = seconds * float(release_rate)
+    return forecast
+
+
+def render_watch(
+    payload: Mapping[str, Any],
+    health: Optional[Mapping[str, Any]] = None,
+    *,
+    series: Optional[Sequence[str]] = None,
+    max_rows: int = 16,
+    spark_width: int = 24,
+    source: str = "",
+) -> str:
+    """One full watch frame: header, series table, forecast, alerts.
+
+    ``payload`` is a ``/timeseries`` JSON document (live or rebuilt
+    from an artifact via ``TimeSeriesStore.to_payload()``); ``health``
+    is a ``/healthz`` document when available.  ``series`` restricts
+    and orders the table explicitly; by default the key series lead
+    and the rest fill up to ``max_rows`` (the dropped count is always
+    printed — never a silent cap).
+    """
+    from repro.analysis import format_table
+
+    all_series: Dict[str, Any] = dict(payload.get("series") or {})
+    if series:
+        ordered = [s for s in series if s in all_series]
+    else:
+        ordered = order_series(all_series)
+    dropped = max(0, len(ordered) - max_rows)
+    ordered = ordered[:max_rows]
+
+    lines: List[str] = []
+    status = (health or {}).get("status", "unknown")
+    lines.append(
+        f"repro watch · {source or 'time-series'} · "
+        f"{payload.get('ticks', 0)} sample(s) · "
+        f"{len(all_series)} series · health: {status}"
+    )
+    lines.append("")
+
+    rows: List[Tuple[str, str, str, str, str]] = []
+    for name in ordered:
+        entry = all_series[name]
+        points = entry.get("points") or []
+        values = [p[1] for p in points]
+        rows.append((
+            name,
+            _format_number(entry.get("latest")),
+            _format_number(entry.get("rate_per_second")),
+            spark(values, width=spark_width),
+            str(entry.get("kind", "?")),
+        ))
+    if rows:
+        lines.append(format_table(
+            ["series", "latest", "rate/s", "trend", "kind"], rows
+        ))
+    else:
+        lines.append("(no series sampled yet)")
+    if dropped:
+        lines.append(f"... {dropped} more series (use --series to select)")
+    lines.append("")
+
+    forecast = budget_forecast(payload)
+    if forecast is not None:
+        releases = forecast.get("releases_to_exhaustion")
+        suffix = (
+            f" (~{releases:.0f} release(s))" if releases is not None else ""
+        )
+        lines.append(
+            "budget: exhaustion forecast in "
+            f"~{forecast['seconds_to_exhaustion']:.0f}s{suffix} at "
+            f"{forecast['epsilon_per_second']:.4g} eps/s · remaining "
+            f"epsilon {forecast['remaining_epsilon']:.4g}"
+        )
+    else:
+        lines.append("budget: no charge-rate forecast (no accountant "
+                     "series sampled)")
+
+    alerts = list((health or {}).get("alerts") or [])
+    if alerts:
+        lines.append(f"alerts ({len(alerts)} fired):")
+        for alert in alerts:
+            lines.append(
+                f"  {str(alert.get('severity', '?')).upper()} "
+                f"{alert.get('rule', '?')}: {alert.get('message', '')}"
+            )
+    else:
+        lines.append("alerts: none fired")
+    return "\n".join(lines) + "\n"
+
+
+__all__ = [
+    "CLEAR_SCREEN",
+    "SPARK_LEVELS",
+    "budget_forecast",
+    "render_watch",
+    "spark",
+]
